@@ -1,0 +1,69 @@
+"""F2 — Figure 2: cost of the last-mile search vs prediction error.
+
+Reproduces both panels: (a) lookup time and (b) LLC misses per lookup,
+for linear / exponential / bounded-binary local search, full binary
+search without a model, FAST, and the DRAM-latency floor.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig2_local_search
+from repro.bench.figures import ascii_chart, series_from_rows
+from repro.bench.reporting import format_table
+
+
+def test_fig2_local_search(benchmark):
+    rows = run_once(benchmark, fig2_local_search)
+
+    by_method: dict[str, dict[int, dict]] = {}
+    errors = sorted({r["error"] for r in rows if r["error"] is not None})
+    for r in rows:
+        if r["error"] is not None:
+            by_method.setdefault(r["method"], {})[r["error"]] = r
+
+    for metric, title in (("ns", "Figure 2a — lookup time (ns)"),
+                          ("llc_misses", "Figure 2b — LLC misses")):
+        table = [
+            [method] + [series.get(e, {}).get(metric, float("nan"))
+                        for e in errors]
+            for method, series in sorted(by_method.items())
+        ]
+        print()
+        print(format_table(["method"] + [str(e) for e in errors], table,
+                           title=title))
+
+    dram = next(r["ns"] for r in rows if r["method"] == "DRAM latency")
+    print(f"\nDRAM latency floor: {dram:.0f} ns")
+    chart_rows = [r for r in rows if r["error"] is not None]
+    print()
+    print(ascii_chart(
+        series_from_rows(chart_rows, "method", "error", "ns"),
+        title="Figure 2a (log-log): local-search ns vs error",
+    ))
+
+    linear = by_method["Linear"]
+    binary = by_method["Binary"]
+    exp = by_method["Exponential"]
+    fast_ns = next(iter(by_method["FAST"].values()))["ns"]
+
+    # paper shapes: linear degrades fastest; bounded binary slowest;
+    # FAST is flat and crosses linear/exponential in the hundreds region
+    assert linear[errors[-1]]["ns"] > binary[errors[-1]]["ns"]
+    assert binary[errors[0]]["ns"] < fast_ns
+    assert linear[errors[-1]]["ns"] > fast_ns
+    assert exp[errors[-1]]["ns"] > fast_ns
+
+    def crossover(series):
+        for e in errors:
+            if series[e]["ns"] > fast_ns:
+                return e
+        return None
+
+    print(f"FAST({fast_ns:.0f}ns) crossovers: "
+          f"linear at {crossover(linear)}, exponential at {crossover(exp)}, "
+          f"binary at {crossover(binary)} (paper: ~300 / ~300 / ~1000)")
+
+    benchmark.extra_info["series"] = {
+        m: {str(e): round(r["ns"], 1) for e, r in s.items()}
+        for m, s in by_method.items()
+    }

@@ -1,0 +1,45 @@
+"""F3 — Figure 3: micro-level complexity of synthetic vs real-world CDFs.
+
+The paper's figure shows that zoomed-in views of synthetic CDFs look like
+straight lines while real-world CDFs keep structure at every zoom level.
+We print the quantified version: mean normalised RMS deviation from local
+linearity per window size.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig3_distributions
+from repro.bench.reporting import format_table
+
+
+def test_fig3_distributions(benchmark):
+    rows = run_once(benchmark, fig3_distributions)
+
+    datasets = sorted({r["dataset"] for r in rows})
+    windows = sorted({r["window"] for r in rows})
+    lookup = {(r["dataset"], r["window"]): r["local_linearity"] for r in rows}
+    table = [
+        [ds] + [lookup[(ds, w)] for w in windows] for ds in datasets
+    ]
+    print()
+    print(
+        format_table(
+            ["dataset"] + [f"window={w}" for w in windows],
+            table,
+            title="Figure 3 — local non-linearity of the CDF (0 = straight line)",
+            float_digits=4,
+        )
+    )
+
+    # synthetic uniform is near-perfectly linear at every zoom; the
+    # real-world surrogates are at least 5x rougher (usually far more)
+    for w in windows:
+        assert lookup[("face64", w)] > 5 * lookup[("uden64", w)]
+        assert lookup[("osmc64", w)] > 5 * lookup[("uden64", w)]
+    # lognormal is skewed but *smooth*: much closer to linear than osmc
+    assert lookup[("osmc64", 1024)] > lookup[("logn64", 1024)]
+
+    benchmark.extra_info["linearity"] = {
+        f"{ds}@{w}": round(lookup[(ds, w)], 5)
+        for ds in datasets for w in windows
+    }

@@ -1,0 +1,38 @@
+"""F6 — Figure 6: Shift-Table correcting a single straight-line model on
+the osmc dataset.
+
+The paper: "While the average error of the model is 28 million keys,
+Shift-Table reduces the error to only 129 keys" (200M keys).  At our
+scale the absolute numbers shrink, but the collapse by several orders of
+magnitude is the reproduced shape.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig6_error_correction
+from repro.bench.reporting import format_table
+
+
+def test_fig6_error_correction(benchmark):
+    r = run_once(benchmark, fig6_error_correction)
+
+    print()
+    print(
+        format_table(
+            ["metric", "before correction", "after correction"],
+            [
+                ["mean |error|", r["mean_error_before"], r["mean_error_after"]],
+                ["p99 |error|", r["p99_before"], r["p99_after"]],
+                ["max |error|", r["max_before"], r["max_after"]],
+            ],
+            title=f"Figure 6 — linear model on osmc64 (n={r['n']:,})",
+        )
+    )
+    print(f"error reduction factor: {r['reduction_factor']:,.0f}x "
+          f"(paper at 200M keys: ~217,000x)")
+
+    assert r["reduction_factor"] > 100
+    assert r["mean_error_after"] < r["mean_error_before"] / 100
+    benchmark.extra_info["fig6"] = {
+        k: round(v, 2) for k, v in r.items() if isinstance(v, float)
+    }

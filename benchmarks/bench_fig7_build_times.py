@@ -1,0 +1,39 @@
+"""F7 — Figure 7: index build times (mean ± std across all 14 datasets).
+
+The paper's point: IM+ShiftTable — the latency winner — also builds as
+fast as or faster than the competing learned indexes (single pass, no
+training).  Absolute seconds are our Python implementations', not the
+paper's C++; the *ordering* is the reproduction target.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig7_build_times
+from repro.bench.reporting import format_table
+
+
+def test_fig7_build_times(benchmark):
+    rows = run_once(benchmark, fig7_build_times)
+
+    table = [
+        [r["method"], r["mean_seconds"], r["std_seconds"], r["datasets"]]
+        for r in rows
+    ]
+    print()
+    print(
+        format_table(
+            ["method", "mean build (s)", "std (s)", "#datasets"],
+            table,
+            title="Figure 7 — average index build time",
+            float_digits=3,
+        )
+    )
+
+    by = {r["method"]: r["mean_seconds"] for r in rows}
+    # single-pass builds beat the tuned learned indexes (paper's ordering:
+    # IM+ShiftTable takes the same or less build time than RMI / RS)
+    assert by["IM+ShiftTable"] < by["RMI"]
+    assert by["IM+ShiftTable"] < by["RS"]
+    benchmark.extra_info["build_seconds"] = {
+        r["method"]: round(r["mean_seconds"], 4) for r in rows
+    }

@@ -1,0 +1,49 @@
+"""F9 — Figure 9: effect of the Shift-Table layer size.
+
+Modes R-1 (full <Δ,C> pairs), S-1/S-10/S-100/S-1000 (one mean-drift entry
+per X records) and no layer, over the paper's eight datasets.  Panel (a)
+is latency, panel (b) average error.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import FIG9_DATASETS, fig9_layer_size
+from repro.bench.reporting import format_table
+
+MODES = ("R-1", "S-1", "S-10", "S-100", "S-1000", "Without Shift-Table")
+
+
+def test_fig9_layer_size(benchmark):
+    rows = run_once(benchmark, fig9_layer_size)
+
+    cells = {(r["dataset"], r["mode"]): r for r in rows}
+    for metric, title, digits in (
+        ("ns", "Figure 9a — latency (simulated ns)", 1),
+        ("avg_error", "Figure 9b — average error (records)", 1),
+    ):
+        table = [
+            [ds] + [cells[(ds, mode)][metric] for mode in MODES]
+            for ds in FIG9_DATASETS
+        ]
+        print()
+        print(format_table(["dataset"] + list(MODES), table, title=title,
+                           float_digits=digits))
+
+    for ds in FIG9_DATASETS:
+        err = [cells[(ds, m)]["avg_error"] for m in MODES[1:-1]]  # S-1..S-1000
+        # Figure 9b: error grows monotonically with compression
+        assert err == sorted(err), ds
+        # no layer is (weakly) the worst error
+        assert cells[(ds, "Without Shift-Table")]["avg_error"] >= err[0], ds
+        # footprint: S-1 is half of R-1 (paper §4.3)
+        assert (cells[(ds, "S-1")]["size_bytes"] * 2
+                == cells[(ds, "R-1")]["size_bytes"]), ds
+
+    # latency: on rough data the uncompressed modes beat heavy compression
+    for ds in ("face32", "osmc64", "amzn64"):
+        assert cells[(ds, "S-1")]["ns"] < cells[(ds, "S-1000")]["ns"], ds
+
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 2) if isinstance(v, float) else v) for k, v in r.items()}
+        for r in rows
+    ]

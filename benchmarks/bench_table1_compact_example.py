@@ -1,0 +1,37 @@
+"""T1 — Table 1: the compact Shift-Table worked example (exact match).
+
+Rebuilds the paper's M=30 layer over the 100-key example index and prints
+every row of Table 1.  This is the one experiment where our cells must
+equal the paper's **exactly** — and they do.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import table1_compact_example
+from repro.bench.reporting import format_table
+
+
+def test_table1_compact_example(benchmark):
+    result = run_once(benchmark, table1_compact_example)
+
+    headers = ["row"] + [str(i) for i in result["index"]]
+    rows = [
+        ["key (x)"] + result["key"],
+        ["Predicted index"] + result["predicted"],
+        ["Error before correction"] + result["error_before"],
+        ["Partition (k)"] + result["partition"],
+        ["Mean drift"] + result["mean_drift"],
+        ["Prediction after correction"] + result["corrected"],
+        ["Error after correction"] + result["error_after"],
+    ]
+    print()
+    print(format_table(headers, rows, title="Table 1 (M=30, N=100)"))
+
+    for field in ("predicted", "error_before", "corrected", "error_after"):
+        assert result[field] == result[f"paper_{field}"], field
+    drift = dict(zip(result["partition"], result["mean_drift"]))
+    assert drift == result["paper_mean_drift_by_partition"]
+    print("every cell matches the paper exactly")
+    benchmark.extra_info["table1"] = {
+        k: v for k, v in result.items() if not k.startswith("paper_")
+    }

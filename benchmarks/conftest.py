@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark targets.
+
+Every bench prints the paper's rows/series (run pytest with ``-s`` to see
+them) and records them in ``benchmark.extra_info`` for machine use.
+Scale knobs: ``REPRO_SOSD_N`` (default 2,000,000 keys), ``REPRO_QUERIES``
+(default 1024), ``REPRO_SEED``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import env_num_keys, env_num_queries, env_seed
+
+
+@pytest.fixture(scope="session", autouse=True)
+def announce_scale():
+    print(
+        f"\n[repro] benchmark scale: n={env_num_keys():,} keys, "
+        f"{env_num_queries()} queries/method, seed={env_seed()}"
+    )
+    yield
+
+
+def run_once(benchmark, fn):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

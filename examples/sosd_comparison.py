@@ -1,0 +1,64 @@
+"""A miniature Table 2: compare every index family on two datasets.
+
+Builds all twelve SOSD methods over a synthetic (uden64) and a real-world
+surrogate (face64) dataset and prints the simulated lookup latency,
+hardware counters and footprints, reproducing the paper's contrast:
+learned indexes win on smooth synthetic data, while on real-world data
+the dummy model + Shift-Table beats hand-tuned RMI.
+
+Run:  python examples/sosd_comparison.py            (2M keys, ~2 min)
+      REPRO_SOSD_N=200000 python examples/sosd_comparison.py   (quick)
+"""
+
+from repro.bench import (
+    MethodNotAvailable,
+    TABLE2_METHODS,
+    build_method,
+    format_table,
+    measure_index,
+    uniform_over_keys,
+)
+from repro.bench.workload import env_num_keys, env_num_queries
+from repro.core.records import SortedData
+from repro.datasets import load
+from repro.hardware.machine import MachineSpec
+
+
+def main() -> None:
+    n = env_num_keys()
+    num_queries = env_num_queries()
+    for dataset in ("uden64", "face64"):
+        keys = load(dataset, n)
+        data = SortedData(keys, name=dataset)
+        machine = MachineSpec.paper().scaled_for(n, data.record_bytes)
+        queries = uniform_over_keys(keys, num_queries, seed=7)
+
+        rows = []
+        for method in TABLE2_METHODS:
+            try:
+                index, build_s = build_method(method, data)
+            except MethodNotAvailable as exc:
+                rows.append([method, None, None, None, None, str(exc)[:40]])
+                continue
+            m = measure_index(index, data, queries, machine,
+                              dataset_name=dataset, build_seconds=build_s)
+            assert m.correct, method
+            rows.append([
+                method,
+                m.ns_per_lookup,
+                m.llc_misses_per_lookup,
+                m.size_bytes / 1e6,
+                m.build_seconds,
+                "",
+            ])
+        print()
+        print(format_table(
+            ["method", "ns/lookup", "LLC miss", "size MB", "build s", "note"],
+            rows,
+            title=f"{dataset} (n={n:,}, simulated i7-6700 scaled)",
+            float_digits=2,
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The §3.9 tuning procedure as a user-facing advisor.
+
+Given a dataset, the advisor measures the machine's error-to-latency
+curve L(s) (§2.3 micro-benchmark), builds a candidate Shift-Table layer,
+evaluates eqs. (9) and (10) of the cost model, and recommends whether the
+layer should be enabled — without running a full benchmark.
+
+Run:  python examples/tuning_advisor.py
+"""
+
+from repro import (
+    InterpolationModel,
+    SortedData,
+    latency_with_layer,
+    latency_without_layer,
+    measure_latency_curve,
+    tune,
+)
+from repro.bench.workload import env_num_keys
+from repro.core.shift_table import ShiftTable
+from repro.datasets import load
+from repro.hardware.machine import MachineSpec
+
+
+def advise(dataset: str, n: int) -> None:
+    keys = load(dataset, n)
+    data = SortedData(keys, name=dataset)
+    machine = MachineSpec.paper().scaled_for(n, data.record_bytes)
+
+    print(f"\n=== {dataset} (n={n:,}) ===")
+    curve = measure_latency_curve(keys, machine, record_bytes=data.record_bytes)
+    pts = ", ".join(
+        f"L({s})={l:.0f}ns" for s, l in
+        zip(curve.sizes[::3], curve.latencies_ns[::3])
+    )
+    print(f"measured error-to-latency curve: {pts}")
+
+    model = InterpolationModel(keys)
+    layer = ShiftTable.build(keys, model)
+    model_ns = 2.0  # IM is register-resident
+    eq9 = latency_with_layer(model_ns, layer.counts, curve)
+    eq10 = latency_without_layer(model_ns, layer.counts, layer.deltas, curve)
+    print(f"eq. (9)  latency with Shift-Table:    {eq9:8.1f} ns")
+    print(f"eq. (10) latency without Shift-Table: {eq10:8.1f} ns")
+
+    index, report = tune(data, model, curve=curve, model_ns=model_ns)
+    verdict = "ENABLE" if report.layer_enabled else "SKIP"
+    print(
+        f"advisor: {verdict} the layer "
+        f"(error {report.error_before:,.0f} -> {report.error_after:,.1f}; "
+        f"memory cost {layer.size_bytes() / 1e6:.1f} MB)"
+    )
+    print(f"resulting index: {index.name}")
+
+
+def main() -> None:
+    n = env_num_keys()
+    # a dataset where the layer is a big win, and one where it is useless
+    advise("osmc64", n)
+    advise("uden64", n)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so editable installs must use setuptools' develop path instead of PEP 517.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

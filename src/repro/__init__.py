@@ -1,0 +1,77 @@
+"""repro — a reproduction of *Shift-Table: A Low-latency Learned Index for
+Range Queries using Model Correction* (Hadian & Heinis, EDBT 2021).
+
+Public API tour
+---------------
+>>> import numpy as np
+>>> from repro import SortedData, InterpolationModel, ShiftTable, CorrectedIndex
+>>> keys = np.sort(np.random.default_rng(0).integers(0, 1 << 40, 100_000))
+>>> data = SortedData(keys)
+>>> model = InterpolationModel(keys)          # the paper's dummy IM model
+>>> layer = ShiftTable.build(keys, model)     # one-pass correction layer
+>>> index = CorrectedIndex(data, model, layer)
+>>> int(index.lookup(keys[123])) == int(np.searchsorted(keys, keys[123]))
+True
+
+Subpackages: ``repro.core`` (Shift-Table, cost model, tuner),
+``repro.models`` (IM, linear, RMI, RadixSpline, PGM), ``repro.search``
+(binary/linear/exponential/interpolation/TIP), ``repro.algorithmic``
+(ART, FAST, RBS, B+tree), ``repro.hardware`` (the simulated memory
+hierarchy), ``repro.datasets`` (SOSD generators and surrogates),
+``repro.bench`` (the experiment harness behind every table and figure).
+"""
+
+from .core import (
+    CompactShiftTable,
+    CorrectedIndex,
+    FenwickTree,
+    LatencyCurve,
+    ShiftTable,
+    SortedData,
+    UpdatableCorrectedIndex,
+    expected_error,
+    latency_with_layer,
+    latency_without_layer,
+    measure_latency_curve,
+    tune,
+    tune_radix_spline,
+    tune_rmi,
+)
+from .hardware import MachineSpec, MemoryHierarchy, SimTracker
+from .models import (
+    CDFModel,
+    InterpolationModel,
+    LinearModel,
+    PGMModel,
+    RadixSplineModel,
+    RMIModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ShiftTable",
+    "CompactShiftTable",
+    "CorrectedIndex",
+    "SortedData",
+    "UpdatableCorrectedIndex",
+    "FenwickTree",
+    "LatencyCurve",
+    "measure_latency_curve",
+    "expected_error",
+    "latency_with_layer",
+    "latency_without_layer",
+    "tune",
+    "tune_rmi",
+    "tune_radix_spline",
+    "CDFModel",
+    "InterpolationModel",
+    "LinearModel",
+    "RMIModel",
+    "RadixSplineModel",
+    "PGMModel",
+    "MachineSpec",
+    "MemoryHierarchy",
+    "SimTracker",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Algorithmic (non-learned) range-index baselines of Table 2, plus the
+related-work skip list (§5)."""
+
+from .art import ART, DuplicateKeyError
+from .btree import BPlusTree
+from .fast_tree import FASTree, KeyWidthError
+from .rbs import RadixBinarySearch
+from .skiplist import SkipList
+
+__all__ = [
+    "ART",
+    "DuplicateKeyError",
+    "BPlusTree",
+    "FASTree",
+    "KeyWidthError",
+    "RadixBinarySearch",
+    "SkipList",
+]

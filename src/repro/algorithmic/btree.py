@@ -1,0 +1,104 @@
+"""Bulk-loaded B+tree over a sorted array (the paper's STX ``B+tree``).
+
+A static read-only B+tree in the STX style: the leaves are the record
+array itself (clustered index), and each inner level stores the first key
+of every child node in one contiguous array.  Because the tree is
+bulk-loaded perfectly balanced, child pointers are implicit
+(``child = node * fanout + slot``) — what remains, and what the simulator
+charges, is exactly what hurts a real B+tree on modern hardware: a key
+binary-search inside every node on the way down, touching one node per
+level (§2.2, §5: "B+-tree is cache-efficient, but requires pointer
+chasing, which incurs multiple cache misses").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.records import SortedData
+from ..hardware.tracker import NULL_TRACKER, NullTracker, Region, alloc_region
+from ..search.binary import lower_bound
+
+#: STX's default: 16 keys per inner node (128 B = two cache lines of u64).
+DEFAULT_FANOUT = 16
+
+
+class BPlusTree:
+    """Static bulk-loaded B+tree; ``lookup`` returns the lower bound."""
+
+    def __init__(self, data: SortedData, fanout: int = DEFAULT_FANOUT) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.data = data
+        self.fanout = int(fanout)
+        self.name = f"B+tree[f={fanout}]"
+        self._levels: list[np.ndarray] = []
+        self._regions: list[Region] = []
+        self._build()
+
+    def _build(self) -> None:
+        keys = self.data.keys
+        fanout = self.fanout
+        n = len(keys)
+        if n == 0:
+            return
+        # leaf "nodes" are runs of `fanout` records of the data itself;
+        # the first inner level stores each leaf's first key
+        level = keys[::fanout]
+        depth = 0
+        while True:
+            self._levels.append(level)
+            self._regions.append(
+                alloc_region(
+                    f"btree_{id(self):x}_L{depth}",
+                    keys.dtype.itemsize,
+                    len(level),
+                )
+            )
+            if len(level) <= fanout:
+                break
+            level = level[::fanout]
+            depth += 1
+        # levels[0] is just above the leaves; root is levels[-1]
+        self._levels.reverse()
+        self._regions.reverse()
+
+    @property
+    def height(self) -> int:
+        """Inner levels above the record array."""
+        return len(self._levels)
+
+    def lookup(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Position of the first record with key >= q."""
+        data = self.data
+        n = len(data.keys)
+        if n == 0:
+            return 0
+        node = 0
+        fanout = self.fanout
+        for level, region in zip(self._levels, self._regions):
+            lo = node * fanout
+            hi = min(lo + fanout, len(level))
+            # descend into the last child whose separator is *strictly*
+            # below q; a non-strict comparison would skip the start of a
+            # duplicate run that straddles a node boundary
+            slot = lo
+            while slot < hi:
+                mid = (slot + hi) >> 1
+                tracker.touch(region, mid)
+                tracker.instr(5)
+                if level[mid] < q:
+                    slot = mid + 1
+                else:
+                    hi = mid
+            node = max(slot - 1, lo)
+        # bounded search in the chosen leaf's record run; `stop` itself is
+        # the correct answer when the whole run is below q (the next
+        # leaf's first record)
+        start = node * fanout
+        stop = min(start + fanout, n)
+        return lower_bound(data.keys, data.region, tracker, q, start, stop)
+
+    def size_bytes(self) -> int:
+        itemsize = self.data.keys.dtype.itemsize
+        return sum(len(level) * itemsize for level in self._levels)

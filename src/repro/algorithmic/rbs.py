@@ -1,0 +1,72 @@
+"""Radix Binary Search (the SOSD baseline the paper calls ``RBS``).
+
+A two-stage algorithm: a radix table maps a fixed-length key prefix to
+the position range of all keys sharing that prefix, then a binary search
+runs on the (much smaller) range.  One table probe + a short bounded
+binary search — simple and distribution-agnostic, which is why SOSD uses
+it as the strong "non-learned" baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.records import SortedData
+from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
+from ..search.binary import lower_bound
+
+#: Table entry: uint64 position.
+_ENTRY_BYTES = 8
+
+DEFAULT_RADIX_BITS = 16
+
+
+class RadixBinarySearch:
+    """Radix prefix table + bounded binary search."""
+
+    def __init__(self, data: SortedData, radix_bits: int = DEFAULT_RADIX_BITS) -> None:
+        if not (1 <= radix_bits <= 28):
+            raise ValueError("radix_bits must be in [1, 28]")
+        self.data = data
+        self.radix_bits = int(radix_bits)
+        self.name = f"RBS[r={radix_bits}]"
+        keys = data.keys
+        n = len(keys)
+        self._key_min = int(keys[0]) if n else 0
+        span = (int(keys[-1]) - self._key_min) if n else 0
+        shift = 0
+        while (span >> shift) >= (1 << radix_bits):
+            shift += 1
+        self._shift = shift
+        num_prefixes = (span >> shift) + 2
+        prefixes = (
+            (keys.astype(np.uint64) - np.uint64(self._key_min)) >> np.uint64(shift)
+        ).astype(np.int64)
+        # table[p] = first position whose prefix is >= p
+        self._table = np.searchsorted(
+            prefixes, np.arange(num_prefixes + 1)
+        ).astype(np.int64)
+        self._region = alloc_region(
+            f"rbs_{id(self):x}", _ENTRY_BYTES, len(self._table)
+        )
+
+    def lookup(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Position of the first record with key >= q."""
+        keys = self.data.keys
+        n = len(keys)
+        if n == 0:
+            return 0
+        q_int = int(q)
+        if q_int <= self._key_min:
+            return 0
+        p = (q_int - self._key_min) >> self._shift
+        if p >= len(self._table) - 1:
+            return n
+        tracker.touch(self._region, p)
+        tracker.instr(5)
+        lo = int(self._table[p])
+        hi = int(self._table[p + 1])
+        return lower_bound(keys, self.data.region, tracker, q, lo, hi)
+
+    def size_bytes(self) -> int:
+        return len(self._table) * _ENTRY_BYTES

@@ -1,0 +1,90 @@
+"""Static skip list over the sorted record array (paper §5, "Range indexes").
+
+The paper's related work lists skip lists among the "common index
+structures for range index" (citing cache-sensitive and concurrent
+variants).  This is the read-only counterpart of those: a deterministic
+skip list bulk-built over the clustered array, with every ``2^k``-th
+record promoted to level ``k`` — the classic "perfect" skip list, which
+is what a cache-sensitive skip list converges to for static data.
+
+Each level is a contiguous array (cache-friendly, like CSSL), searched
+left-to-right from the position inherited from the level above; the
+expected cost is ``span/2`` probes per level plus the final scan at
+level 0, with every probe charged to the tracker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.records import SortedData
+from ..hardware.tracker import NULL_TRACKER, NullTracker, Region, alloc_region
+from ..search.linear import linear_lower_bound
+
+#: Promotion factor between levels (every `span`-th key moves up).
+DEFAULT_SPAN = 8
+
+
+class SkipList:
+    """Deterministic array-backed skip list supporting lower-bound."""
+
+    def __init__(self, data: SortedData, span: int = DEFAULT_SPAN) -> None:
+        if span < 2:
+            raise ValueError("span must be at least 2")
+        self.data = data
+        self.span = int(span)
+        self.name = f"SkipList[s={span}]"
+        self._levels: list[np.ndarray] = []
+        self._regions: list[Region] = []
+        keys = data.keys
+        level = keys[:: self.span]
+        depth = 0
+        while len(level) > 1:
+            self._levels.append(level)
+            self._regions.append(
+                alloc_region(
+                    f"skiplist_{id(self):x}_L{depth}",
+                    keys.dtype.itemsize,
+                    len(level),
+                )
+            )
+            level = level[:: self.span]
+            depth += 1
+        # top level first during search
+        self._levels.reverse()
+        self._regions.reverse()
+
+    @property
+    def height(self) -> int:
+        return len(self._levels)
+
+    def lookup(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Position of the first record with key >= q."""
+        data = self.data
+        n = len(data.keys)
+        if n == 0:
+            return 0
+        span = self.span
+        # `pos` is an index into the current level; descending multiplies
+        # by the span.  Walk right while the *next* entry is still < q.
+        pos = 0
+        for level, region in zip(self._levels, self._regions):
+            limit = len(level)
+            tracker.touch(region, pos)
+            tracker.instr(2)
+            while pos + 1 < limit and level[pos + 1] < q:
+                pos += 1
+                tracker.touch(region, pos)
+                tracker.instr(2)
+            pos *= span
+        # level-0 equivalent: scan the record run between two entries of
+        # the lowest express lane (at most `span` records); `stop` itself
+        # is the correct answer when the whole run is below q, because
+        # the lane walk stopped on an entry >= q
+        start = min(pos, n)
+        stop = min(start + span, n)
+        return linear_lower_bound(data.keys, data.region, tracker, q, start, stop)
+
+    def size_bytes(self) -> int:
+        itemsize = self.data.keys.dtype.itemsize
+        return sum(len(level) * itemsize for level in self._levels)

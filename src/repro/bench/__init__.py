@@ -1,0 +1,39 @@
+"""Benchmark harness: workloads, simulated measurement, experiment drivers."""
+
+from .harness import Measurement, measure_index, timed_build
+from .methods import (
+    TABLE2_METHODS,
+    MethodNotAvailable,
+    OnTheFlyIndex,
+    build_method,
+    clear_model_cache,
+)
+from .reporting import format_table, speedup, to_csv
+from .workload import (
+    env_num_keys,
+    env_num_queries,
+    env_seed,
+    mixed_workload,
+    uniform_over_domain,
+    uniform_over_keys,
+)
+
+__all__ = [
+    "Measurement",
+    "measure_index",
+    "timed_build",
+    "build_method",
+    "clear_model_cache",
+    "TABLE2_METHODS",
+    "MethodNotAvailable",
+    "OnTheFlyIndex",
+    "format_table",
+    "to_csv",
+    "speedup",
+    "uniform_over_keys",
+    "uniform_over_domain",
+    "mixed_workload",
+    "env_num_keys",
+    "env_num_queries",
+    "env_seed",
+]

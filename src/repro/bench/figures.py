@@ -1,0 +1,105 @@
+"""ASCII rendering of benchmark series (no plotting dependencies).
+
+The paper's figures are log-log line charts; these helpers render the
+same series as fixed-width charts so `pytest -s` output shows the curve
+*shapes* — the actual reproduction target — directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Glyphs cycled across series in a chart.
+_GLYPHS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], lo: float, hi: float, width: int):
+    span = math.log(hi) - math.log(lo) if hi > lo else 1.0
+    out = []
+    for v in values:
+        v = min(max(v, lo), hi)
+        out.append(round((math.log(v) - math.log(lo)) / span * (width - 1)))
+    return out
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Both axes default to log scale (the paper's Figure 2/8/9 style).
+    Values must be positive when the corresponding axis is logarithmic.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("no data to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_x and x_lo <= 0 or log_y and y_lo <= 0:
+        raise ValueError("log axes need positive values")
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x: float) -> int:
+        if log_x:
+            return _log_positions([x], x_lo, x_hi, width)[0]
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row_of(y: float) -> int:
+        if log_y:
+            r = _log_positions([y], y_lo, y_hi, height)[0]
+        else:
+            r = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return height - 1 - r
+
+    legend = []
+    for i, (label, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[i % len(_GLYPHS)]
+        legend.append(f"{glyph} = {label}")
+        for x, y in pts:
+            grid[row_of(y)][col_of(x)] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:,.0f}"
+    y_bot = f"{y_lo:,.0f}"
+    pad = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label:>{pad}} |{''.join(row)}")
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    x_axis = f"{x_lo:,.0f}".ljust(width - len(f"{x_hi:,.0f}")) + f"{x_hi:,.0f}"
+    lines.append(f"{'':>{pad}}  {x_axis}")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def series_from_rows(
+    rows: Sequence[Mapping],
+    group_key: str,
+    x_key: str,
+    y_key: str,
+) -> dict[str, list[tuple[float, float]]]:
+    """Group benchmark row dicts into chart series, sorted by x."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        x, y = row.get(x_key), row.get(y_key)
+        if x is None or y is None:
+            continue
+        series.setdefault(str(row[group_key]), []).append((float(x), float(y)))
+    for pts in series.values():
+        pts.sort()
+    return series

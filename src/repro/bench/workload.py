@@ -1,0 +1,76 @@
+"""Query workload generation (paper §4: SOSD's lookup workload).
+
+SOSD measures lookups of *stored* keys sampled uniformly — the paper's
+eq. (8) likewise assumes "queries are uniformly sampled from the keys".
+:func:`uniform_over_keys` reproduces that; :func:`uniform_over_domain`
+adds non-indexed queries for robustness experiments (§3.1 behaviour).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Environment knobs shared by every benchmark (DESIGN.md, S3).
+ENV_NUM_KEYS = "REPRO_SOSD_N"
+ENV_NUM_QUERIES = "REPRO_QUERIES"
+ENV_SEED = "REPRO_SEED"
+
+DEFAULT_NUM_KEYS = 2_000_000
+DEFAULT_NUM_QUERIES = 1024
+DEFAULT_SEED = 42
+
+
+def env_num_keys() -> int:
+    """Keys per dataset from REPRO_SOSD_N (default 2,000,000)."""
+    return int(os.environ.get(ENV_NUM_KEYS, DEFAULT_NUM_KEYS))
+
+
+def env_num_queries() -> int:
+    """Queries per measurement from REPRO_QUERIES (default 1024)."""
+    return int(os.environ.get(ENV_NUM_QUERIES, DEFAULT_NUM_QUERIES))
+
+
+def env_seed() -> int:
+    """Global experiment seed from REPRO_SEED (default 42)."""
+    return int(os.environ.get(ENV_SEED, DEFAULT_SEED))
+
+
+def uniform_over_keys(
+    keys: np.ndarray, num_queries: int, seed: int = DEFAULT_SEED
+) -> np.ndarray:
+    """SOSD-style workload: existing keys, sampled uniformly."""
+    rng = np.random.default_rng(seed)
+    return rng.choice(keys, size=num_queries, replace=True)
+
+
+def uniform_over_domain(
+    keys: np.ndarray, num_queries: int, seed: int = DEFAULT_SEED
+) -> np.ndarray:
+    """Arbitrary (mostly non-indexed) queries across the key domain."""
+    rng = np.random.default_rng(seed)
+    lo, hi = int(keys.min()), int(keys.max())
+    span = max(hi - lo, 1)
+    draws = lo + (rng.random(num_queries) * span).astype(np.uint64)
+    return draws.astype(keys.dtype)
+
+
+def mixed_workload(
+    keys: np.ndarray,
+    num_queries: int,
+    indexed_fraction: float = 0.5,
+    seed: int = DEFAULT_SEED,
+) -> np.ndarray:
+    """A mix of stored-key and domain queries, shuffled."""
+    if not (0.0 <= indexed_fraction <= 1.0):
+        raise ValueError("indexed_fraction must be within [0, 1]")
+    n_idx = int(num_queries * indexed_fraction)
+    rng = np.random.default_rng(seed)
+    parts = [
+        uniform_over_keys(keys, n_idx, seed),
+        uniform_over_domain(keys, num_queries - n_idx, seed + 1),
+    ]
+    out = np.concatenate(parts)
+    rng.shuffle(out)
+    return out

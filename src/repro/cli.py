@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the experiment drivers and diagnostics so the
+reproduction can be poked without writing Python:
+
+* ``table2``   — run Table 2 cells for chosen datasets/methods
+* ``fig``      — run one figure driver (2, 3, 6, 7, 9)
+* ``datasets`` — list datasets with their §2.4/§3.6 diagnostics
+* ``tune``     — run the §3.9 advisor on one dataset
+* ``explain``  — trace a single lookup through model + layer
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .bench import experiments
+from .bench.reporting import format_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=None,
+                        help="keys per dataset (default: REPRO_SOSD_N or 2M)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="queries per cell (default: REPRO_QUERIES or 1024)")
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .bench.methods import TABLE2_METHODS
+    from .datasets.registry import TABLE2_DATASETS
+
+    datasets = tuple(args.datasets) if args.datasets else None
+    methods = tuple(args.methods) if args.methods else None
+    rows = experiments.table2(
+        datasets=datasets, methods=methods,
+        n=args.n, num_queries=args.queries, seed=args.seed,
+    )
+    cells: dict[str, dict[str, float]] = {}
+    for m in rows:
+        cells.setdefault(m.dataset, {})[m.method] = m.ns_per_lookup
+    cols = methods or TABLE2_METHODS
+    ds_order = [d for d in (datasets or TABLE2_DATASETS) if d in cells]
+    table = [[ds] + [cells[ds].get(c, float("nan")) for c in cols]
+             for ds in ds_order]
+    print(format_table(["dataset"] + list(cols), table,
+                       title="Table 2 (simulated ns per lookup)"))
+    bad = [m for m in rows if m.available and not m.correct]
+    if bad:
+        print(f"WARNING: {len(bad)} incorrect cells!", file=sys.stderr)
+        return 1
+    return 0
+
+
+_FIG_DRIVERS = {
+    "2": experiments.fig2_local_search,
+    "3": experiments.fig3_distributions,
+    "6": experiments.fig6_error_correction,
+    "7": experiments.fig7_build_times,
+    "9": experiments.fig9_layer_size,
+}
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    driver = _FIG_DRIVERS[args.number]
+    result = driver(n=args.n, seed=args.seed)
+    if isinstance(result, dict):
+        for key, value in result.items():
+            print(f"{key}: {value}")
+        return 0
+    if result and isinstance(result[0], dict):
+        headers = list(result[0].keys())
+        print(format_table(headers,
+                           [[r.get(h) for h in headers] for r in result],
+                           title=f"Figure {args.number}", float_digits=2))
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .datasets import load
+    from .datasets.registry import TABLE2_DATASETS
+    from .datasets.stats import (
+        burstiness,
+        congestion_profile,
+        duplication_ratio,
+        gap_tail_index,
+    )
+
+    n = args.n or 200_000
+    rows = []
+    for name in TABLE2_DATASETS:
+        keys = load(name, n, args.seed or 42)
+        profile = congestion_profile(keys)
+        rows.append([
+            name,
+            duplication_ratio(keys),
+            gap_tail_index(keys),
+            profile.max,
+            profile.eq8_error,
+            burstiness(keys, buckets=min(1024, n // 4)),
+        ])
+    print(format_table(
+        ["dataset", "dup ratio", "gap tail idx", "max C_k", "eq8 err",
+         "burstiness"],
+        rows, title=f"dataset diagnostics (n={n:,})", float_digits=3,
+    ))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .core.cost_model import measure_latency_curve
+    from .core.records import SortedData
+    from .core.tuner import tune
+    from .datasets import load
+    from .hardware.machine import MachineSpec
+    from .models.interpolation import InterpolationModel
+
+    n = args.n or 500_000
+    keys = load(args.dataset, n, args.seed or 42)
+    data = SortedData(keys, name=args.dataset)
+    machine = MachineSpec.paper().scaled_for(n, data.record_bytes)
+    curve = measure_latency_curve(keys, machine, record_bytes=data.record_bytes)
+    index, report = tune(data, InterpolationModel(keys), curve=curve)
+    print(f"dataset:        {args.dataset} (n={n:,})")
+    print(f"error before:   {report.error_before:,.1f} records")
+    print(f"error after:    {report.error_after:,.1f} records")
+    print(f"eq9 (with):     {report.predicted_ns_with:,.1f} ns")
+    print(f"eq10 (without): {report.predicted_ns_without:,.1f} ns")
+    print(f"decision:       {'ENABLE' if report.layer_enabled else 'SKIP'} "
+          f"the Shift-Table layer")
+    print(f"index:          {index.name}, {index.size_bytes() / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.corrected_index import CorrectedIndex
+    from .core.range_query import RangeQueryEngine
+    from .core.records import SortedData
+    from .core.shift_table import ShiftTable
+    from .datasets import load
+    from .models.interpolation import InterpolationModel
+
+    n = args.n or 200_000
+    keys = load(args.dataset, n, args.seed or 42)
+    data = SortedData(keys, name=args.dataset)
+    model = InterpolationModel(keys)
+    engine = RangeQueryEngine(
+        CorrectedIndex(data, model, ShiftTable.build(keys, model))
+    )
+    q = int(args.query) if args.query is not None else int(
+        keys[np.random.default_rng(0).integers(0, n)]
+    )
+    trace = engine.explain(keys.dtype.type(q))
+    print(f"query:           {trace.query}")
+    print(f"model output:    N*F(q) = {trace.prediction_float:,.2f} "
+          f"-> predicted index {trace.predicted_index:,}")
+    print(f"partition:       {trace.partition:,}")
+    print(f"window:          [{trace.window_start:,}, "
+          f"{trace.window_start + trace.window_width:,}] "
+          f"({trace.window_width + 1} records)")
+    print(f"result:          position {trace.result:,} "
+          f"({'exact match' if trace.result_is_exact_match else 'lower bound'})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shift-Table reproduction (EDBT 2021) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table2", help="run Table 2 cells")
+    p.add_argument("--datasets", nargs="*", default=None)
+    p.add_argument("--methods", nargs="*", default=None)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("fig", help="run a figure driver")
+    p.add_argument("number", choices=sorted(_FIG_DRIVERS))
+    _add_common(p)
+    p.set_defaults(fn=_cmd_fig)
+
+    p = sub.add_parser("datasets", help="dataset diagnostics")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_datasets)
+
+    p = sub.add_parser("tune", help="run the §3.9 advisor")
+    p.add_argument("dataset")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("explain", help="trace one lookup")
+    p.add_argument("dataset")
+    p.add_argument("--query", default=None)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_explain)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Layer introspection: the §3.6/§3.7 analysis as a reusable report.
+
+``analyze_layer`` condenses everything the paper says about when
+Shift-Table works into one structured report over a built layer:
+
+* the partition-size distribution (mean/median/p99/max ``C_k``),
+* the share of keys living in *congested* partitions — §3.6's "the only
+  type of error that can degrade the performance ... a congestion of
+  keys in a small sub-range",
+* eq. (8)'s expected error and, given a latency curve, eq. (9)/(10)
+  latency predictions,
+* the §4.1 enable/skip recommendation.
+
+``format_report`` renders it for humans; the CLI and the tuning-advisor
+example both build on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .compact import CompactShiftTable
+from .cost_model import (
+    LatencyCurve,
+    expected_error,
+    latency_with_layer,
+    latency_without_layer,
+    should_enable_layer,
+)
+from .shift_table import ShiftTable
+
+#: A partition is "congested" when it collects this many keys or more.
+CONGESTION_THRESHOLD = 64
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Structured §3.6/§3.7 analysis of one correction layer."""
+
+    num_partitions: int
+    num_keys: int
+    entry_bytes: int
+    size_bytes: int
+    occupied_fraction: float
+    mean_count: float
+    median_count: float
+    p99_count: float
+    max_count: int
+    congested_key_share: float
+    expected_error_eq8: float
+    error_before: float | None = None
+    predicted_ns_with: float | None = None
+    predicted_ns_without: float | None = None
+    recommend_enable: bool | None = None
+
+
+def analyze_layer(
+    layer: ShiftTable | CompactShiftTable,
+    curve: LatencyCurve | None = None,
+    model_ns: float = 2.0,
+    congestion_threshold: int = CONGESTION_THRESHOLD,
+) -> LayerReport:
+    """Build a :class:`LayerReport` from a constructed layer."""
+    counts = layer.counts
+    occupied = counts[counts > 0]
+    n = int(counts.sum())
+    congested = occupied[occupied >= congestion_threshold]
+    eq8 = expected_error(counts)
+
+    error_before = None
+    ns_with = ns_without = None
+    recommend = None
+    if isinstance(layer, ShiftTable):
+        # the bare model's error per partition midpoint (§3.7)
+        mid = np.abs(
+            layer.deltas[counts > 0].astype(np.float64) + occupied / 2.0
+        )
+        error_before = float((mid * occupied).sum() / max(n, 1))
+        recommend = should_enable_layer(error_before, eq8)
+        if curve is not None:
+            ns_with = latency_with_layer(model_ns, counts, curve)
+            ns_without = latency_without_layer(
+                model_ns, counts, layer.deltas, curve
+            )
+            recommend = ns_with < ns_without
+
+    return LayerReport(
+        num_partitions=layer.num_partitions,
+        num_keys=layer.num_keys,
+        entry_bytes=layer.entry_bytes,
+        size_bytes=layer.size_bytes(),
+        occupied_fraction=float(len(occupied) / max(layer.num_partitions, 1)),
+        mean_count=float(occupied.mean()) if len(occupied) else 0.0,
+        median_count=float(np.median(occupied)) if len(occupied) else 0.0,
+        p99_count=float(np.percentile(occupied, 99)) if len(occupied) else 0.0,
+        max_count=int(occupied.max()) if len(occupied) else 0,
+        congested_key_share=float(congested.sum() / max(n, 1)),
+        expected_error_eq8=eq8,
+        error_before=error_before,
+        predicted_ns_with=ns_with,
+        predicted_ns_without=ns_without,
+        recommend_enable=recommend,
+    )
+
+
+def format_report(report: LayerReport) -> str:
+    """Human-readable rendering of a :class:`LayerReport`."""
+    lines = [
+        f"partitions:        {report.num_partitions:,} "
+        f"({report.occupied_fraction:.1%} occupied)",
+        f"footprint:         {report.size_bytes / 1e6:.2f} MB "
+        f"({report.entry_bytes} B/entry)",
+        f"partition sizes:   mean {report.mean_count:.2f}, "
+        f"median {report.median_count:.0f}, p99 {report.p99_count:.0f}, "
+        f"max {report.max_count:,}",
+        f"congested keys:    {report.congested_key_share:.2%} "
+        f"(in partitions with C_k >= {CONGESTION_THRESHOLD})",
+        f"expected error:    {report.expected_error_eq8:,.1f} records (eq. 8)",
+    ]
+    if report.error_before is not None:
+        lines.append(
+            f"model error:       {report.error_before:,.1f} records before "
+            "correction"
+        )
+    if report.predicted_ns_with is not None:
+        lines.append(
+            f"predicted latency: {report.predicted_ns_with:,.1f} ns with / "
+            f"{report.predicted_ns_without:,.1f} ns without (eqs. 9-10)"
+        )
+    if report.recommend_enable is not None:
+        verdict = "ENABLE" if report.recommend_enable else "SKIP"
+        lines.append(f"recommendation:    {verdict} the layer (§4.1 rule)")
+    return "\n".join(lines)

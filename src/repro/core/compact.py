@@ -1,0 +1,168 @@
+"""Compressed Shift-Table, S-mode (paper §3.4, eq. 7; Figure 9's ``S-X``).
+
+Instead of ``<Δ, C>`` pairs, each partition stores a single *mean drift*
+``Δ̄^M_j = ⌊mean(N·F(x) − ⌊N·F_θ(x)⌋)⌋`` — half the footprint of R-mode
+(the paper: "the memory footprint of S-1 is half the size of R-1").  The
+corrected prediction ``pred + Δ̄`` is a point estimate with no guaranteed
+window, so the last mile uses linear or exponential search (§3.4, §3.8).
+
+``S-X`` in Figure 9 means one entry per ``X`` records, i.e.
+``M = N / X``.  The layer can also be built from a *sample* of the keys
+(§3.4, last paragraph), trading accuracy for build time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
+from ..models.base import CDFModel, partition_index, partition_index_batch
+from ..datasets.cdf import key_positions
+
+
+def _field_bytes(max_abs_drift: int) -> int:
+    for nbytes in (1, 2, 4):
+        if max_abs_drift < (1 << (8 * nbytes - 1)):
+            return nbytes
+    return 8
+
+
+class CompactShiftTable:
+    """S-mode correction layer: one mean-drift entry per partition."""
+
+    def __init__(
+        self,
+        drifts: np.ndarray,
+        counts: np.ndarray,
+        num_keys: int,
+        mean_abs_error: float,
+    ) -> None:
+        if len(drifts) != len(counts):
+            raise ValueError("drifts and counts must align")
+        self.drifts = drifts
+        self.counts = counts
+        self.num_keys = int(num_keys)
+        self.num_partitions = len(drifts)
+        #: mean |error| after correction over the build keys — drives the
+        #: linear-vs-exponential local search choice (§3.8)
+        self.mean_abs_error = float(mean_abs_error)
+        self.entry_bytes = _field_bytes(int(np.abs(drifts).max(initial=0)))
+        self.region = alloc_region(
+            f"compact_st_{id(self):x}", self.entry_bytes, self.num_partitions
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        model: CDFModel,
+        num_partitions: int | None = None,
+        sample_size: int | None = None,
+        seed: int = 0,
+    ) -> "CompactShiftTable":
+        """Build from all keys, or from a random sample (§3.4).
+
+        Sampling reduces build time to ``O(S)·O(F_θ) + O(M)`` at the cost
+        of accuracy; empty partitions (far more of them under sampling)
+        borrow the next non-empty partition's drift.
+        """
+        n = len(data)
+        if n == 0:
+            raise ValueError("cannot build over empty data")
+        if n != model.num_keys:
+            raise ValueError("model was trained for a different key count")
+        m = int(num_partitions) if num_partitions is not None else n
+        if m <= 0:
+            raise ValueError("num_partitions must be positive")
+
+        if sample_size is not None and sample_size < n:
+            rng = np.random.default_rng(seed)
+            take = np.sort(rng.choice(n, size=int(sample_size), replace=False))
+            sample = data[take]
+            pos = np.searchsorted(data, sample, side="left").astype(np.int64)
+        else:
+            sample = data
+            pos = key_positions(data)
+
+        pred_float = model.predict_pos_batch(sample)
+        pred = np.clip(pred_float.astype(np.int64), 0, n - 1)
+        part = partition_index_batch(pred_float, n, m)
+        drift = pos - pred
+
+        sums = np.zeros(m, dtype=np.float64)
+        np.add.at(sums, part, drift.astype(np.float64))
+        counts = np.bincount(part, minlength=m).astype(np.int64)
+        occupied = counts > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mean = np.where(occupied, sums / np.maximum(counts, 1), 0.0)
+        # eq. (7)'s ``[·]`` truncates toward zero (Table 1: a mean drift of
+        # -40.6 becomes -40, not -41)
+        drifts = np.trunc(mean).astype(np.int64)
+
+        # empty partitions: aim at the first record of the next non-empty
+        # partition (same policy as R-mode, but a point instead of a window)
+        if not bool(occupied.all()):
+            starts = np.full(m, n, dtype=np.int64)
+            np.minimum.at(starts, part, pos)
+            idx = np.arange(m)
+            next_occ = np.where(occupied, idx, m)
+            next_occ = np.minimum.accumulate(next_occ[::-1])[::-1]
+            has_next = next_occ < m
+            j_next = np.where(has_next, next_occ, m - 1)
+            s_next = np.where(has_next, starts[j_next], n)
+            if m == n:
+                b_hi = idx
+            else:
+                b_hi = np.minimum(
+                    np.ceil((idx + 1) * (n / m)).astype(np.int64), n - 1
+                )
+            empty = ~occupied
+            drifts[empty] = s_next[empty] - b_hi[empty]
+
+        err = np.abs(pos - (pred + drifts[part]))
+        return cls(drifts, counts, n, float(err.mean()))
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    def correct(
+        self, pred_float: float, tracker: NullTracker = NULL_TRACKER
+    ) -> int:
+        """Corrected point prediction (one layer lookup, no window)."""
+        n = self.num_keys
+        j = partition_index(pred_float, n, self.num_partitions)
+        tracker.touch(self.region, j)
+        tracker.instr(4)
+        if pred_float <= 0.0:
+            pred = 0
+        else:
+            pred = int(pred_float)
+            if pred >= n:
+                pred = n - 1
+        corrected = pred + int(self.drifts[j])
+        if corrected < 0:
+            return 0
+        return corrected if corrected < n else n - 1
+
+    def correct_batch(self, pred_float: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`correct` (no tracing)."""
+        n = self.num_keys
+        j = partition_index_batch(pred_float, n, self.num_partitions)
+        pred = np.clip(pred_float.astype(np.int64), 0, n - 1)
+        return np.clip(pred + self.drifts[j], 0, n - 1)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Layer footprint: M single-field entries (half of R-mode)."""
+        return self.num_partitions * self.entry_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompactShiftTable(M={self.num_partitions}, N={self.num_keys}, "
+            f"entry_bytes={self.entry_bytes})"
+        )

@@ -1,0 +1,45 @@
+"""Prediction-error metrics (paper §3.5, §3.6 and Figure 8's log2 error).
+
+The paper distinguishes the *drift* (signed error, §3) from the absolute
+error, and reports the SOSD benchmark's "average Log2 error" — the
+average number of binary-search iterations the last mile needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.cdf import key_positions
+from ..models.base import CDFModel
+
+
+def signed_drift(data: np.ndarray, model: CDFModel) -> np.ndarray:
+    """``N·F(x) − ⌊N·F_θ(x)⌋`` for every slot of ``data`` (the §3 drift)."""
+    n = len(data)
+    pred = np.clip(model.predict_pos_batch(data).astype(np.int64), 0, n - 1)
+    return key_positions(data) - pred
+
+
+def error_stats(errors: np.ndarray) -> dict[str, float]:
+    """Summary statistics over an array of signed errors."""
+    abs_err = np.abs(errors)
+    return {
+        "mean_abs": float(abs_err.mean()),
+        "median_abs": float(np.median(abs_err)),
+        "p99_abs": float(np.percentile(abs_err, 99)),
+        "max_abs": float(abs_err.max()),
+        "mean_signed": float(errors.mean()),
+        "log2": log2_error(errors),
+    }
+
+
+def log2_error(errors: np.ndarray) -> float:
+    """SOSD's metric: ``mean(log2(|err| + 1))`` — binary-search iterations."""
+    return float(np.log2(np.abs(errors).astype(np.float64) + 1.0).mean())
+
+
+def corrected_errors(
+    data: np.ndarray, model: CDFModel, corrected_pos: np.ndarray
+) -> np.ndarray:
+    """Signed error of already-corrected predictions for every slot."""
+    return key_positions(data) - corrected_pos

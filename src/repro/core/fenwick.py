@@ -1,0 +1,130 @@
+"""Update handling via Fenwick-tree drift tracking (paper §6, future work).
+
+The paper's conclusion sketches one idea for supporting inserts: "capture
+the drifts in data distribution using update-tracking segments, and use
+Fenwick trees to estimate and correct the drifts in both the model and
+the Shift-Table".  This module builds that sketch as a working extension:
+
+* :class:`FenwickTree` — classic binary indexed tree over int64 counts;
+* :class:`UpdatableCorrectedIndex` — wraps a static
+  :class:`~repro.core.corrected_index.CorrectedIndex` and absorbs inserts
+  into a sorted delta buffer, while a Fenwick tree over the base
+  positions counts how many inserted keys land before each base slot.
+  A lookup then returns the *merged* rank: the corrected base position
+  plus the Fenwick-estimated shift, which is exactly the lower bound in
+  the merged view of (base ∪ buffer).
+
+The buffer can be merged back (rebuilding model + layer) once it grows
+past a threshold, amortising rebuild cost — the usual delta-main design.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
+from .corrected_index import CorrectedIndex
+
+
+class FenwickTree:
+    """Binary indexed tree: point update / prefix sum in O(log n)."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+        self.region = alloc_region(f"fenwick_{id(self):x}", 8, size + 1)
+
+    def add(self, index: int, amount: int = 1,
+            tracker: NullTracker = NULL_TRACKER) -> None:
+        """Add ``amount`` at position ``index`` (0-based)."""
+        if not (0 <= index < self.size):
+            raise IndexError(f"index {index} out of range [0, {self.size})")
+        i = index + 1
+        while i <= self.size:
+            tracker.touch(self.region, i)
+            tracker.instr(3)
+            self._tree[i] += amount
+            i += i & (-i)
+
+    def prefix_sum(self, index: int, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Sum of positions ``[0, index)``."""
+        if index <= 0:
+            return 0
+        i = min(index, self.size)
+        total = 0
+        while i > 0:
+            tracker.touch(self.region, i)
+            tracker.instr(3)
+            total += int(self._tree[i])
+            i -= i & (-i)
+        return total
+
+    def total(self) -> int:
+        return self.prefix_sum(self.size)
+
+
+class UpdatableCorrectedIndex:
+    """Delta-main learned index with Fenwick drift correction (§6 sketch).
+
+    Inserted keys live in a sorted buffer; the Fenwick tree tracks, per
+    base position, how many buffered keys sort before it.  Lookups return
+    ranks in the merged view, so downstream range scans see a single
+    consistent ordering.
+    """
+
+    def __init__(self, base: CorrectedIndex, merge_threshold: int = 4096) -> None:
+        self.base = base
+        self.merge_threshold = int(merge_threshold)
+        self._buffer: list = []
+        # one Fenwick slot per base gap (position 0..N inclusive)
+        self._drift = FenwickTree(len(base.data) + 1)
+        self.name = base.name + "+updates"
+
+    def __len__(self) -> int:
+        return len(self.base.data) + len(self._buffer)
+
+    @property
+    def pending_inserts(self) -> int:
+        return len(self._buffer)
+
+    def insert(self, key, tracker: NullTracker = NULL_TRACKER) -> None:
+        """Insert a key; O(log n) buffer + Fenwick maintenance."""
+        base_pos = self.base.lookup(key, tracker)
+        bisect.insort(self._buffer, key)
+        self._drift.add(base_pos, 1, tracker)
+
+    def lookup(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Lower-bound rank of ``q`` in the merged (base ∪ buffer) view."""
+        base_pos = self.base.lookup(q, tracker)
+        buffered_before = bisect.bisect_left(self._buffer, q)
+        tracker.instr(4 * max(1, len(self._buffer)).bit_length())
+        return base_pos + buffered_before
+
+    def merged_shift(self, base_pos: int,
+                     tracker: NullTracker = NULL_TRACKER) -> int:
+        """Fenwick-estimated drift: inserts landing before ``base_pos``.
+
+        This is the §6 estimate — how far the static model's prediction
+        has drifted because of updates — and equals the exact buffered
+        rank whenever no buffered key equals a base key at the boundary.
+        """
+        return self._drift.prefix_sum(base_pos, tracker)
+
+    def needs_merge(self) -> bool:
+        return len(self._buffer) >= self.merge_threshold
+
+    def merged_keys(self) -> np.ndarray:
+        """Materialise the merged key array (used when rebuilding)."""
+        base_keys = self.base.data.keys
+        merged = np.empty(len(self), dtype=base_keys.dtype)
+        buffered = np.asarray(self._buffer, dtype=base_keys.dtype)
+        insert_at = np.searchsorted(base_keys, buffered, side="left")
+        mask = np.zeros(len(self), dtype=bool)
+        mask[insert_at + np.arange(len(buffered))] = True
+        merged[mask] = buffered
+        merged[~mask] = base_keys
+        return merged

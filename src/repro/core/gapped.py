@@ -1,0 +1,177 @@
+"""Gapped-array updates: the ALEX-style alternative to §6's Fenwick idea.
+
+The paper's future-work section points at update handling and cites ALEX
+(Ding et al., SIGMOD 2020), whose core trick is keeping *gaps* inside the
+key array so inserts shift only a handful of neighbours instead of the
+whole suffix.  This module implements that strategy over the Shift-Table
+stack, as a design contrast to
+:class:`~repro.core.fenwick.UpdatableCorrectedIndex`:
+
+* **Fenwick/delta design** — base array untouched; inserts buffered;
+  lookups pay a second (buffer) search; drift tracked logarithmically.
+* **Gapped design (this module)** — keys live in an array with every
+  ``1/density``-th slot empty; inserts memmove at most to the nearest
+  gap; lookups are a single corrected search over the gapped array.
+
+The gapped array stores each gap as a duplicate of its left neighbour
+(ALEX does the same), which keeps the array sorted, keeps binary search
+exact, and lets the Shift-Table treat gaps as ordinary duplicate slots.
+Ranks reported by :meth:`lookup` are *gapped positions*; :meth:`rank`
+converts to logical (gap-free) ranks when needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker
+from ..models.interpolation import InterpolationModel
+from .corrected_index import CorrectedIndex
+from .records import SortedData
+from .shift_table import ShiftTable
+
+
+class GappedLearnedIndex:
+    """A Shift-Table-corrected index over a gapped (ALEX-style) array."""
+
+    def __init__(self, keys: np.ndarray, density: float = 0.75,
+                 name: str = "gapped") -> None:
+        if not (0.1 <= density <= 1.0):
+            raise ValueError("density must be in [0.1, 1.0]")
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            raise ValueError("need at least one key")
+        self.density = float(density)
+        self.name = name
+        n = len(keys)
+        capacity = max(int(np.ceil(n / density)), n)
+        # spread the keys; duplicate the left neighbour into each gap
+        slots = np.floor(np.arange(n) / density).astype(np.int64)
+        slots = np.minimum(slots, capacity - 1)
+        gapped = np.empty(capacity, dtype=keys.dtype)
+        gapped[slots] = keys
+        occupied = np.zeros(capacity, dtype=bool)
+        occupied[slots] = True
+        # forward-fill gaps with the previous real key
+        last = keys[0]
+        for i in range(capacity):
+            if occupied[i]:
+                last = gapped[i]
+            else:
+                gapped[i] = last
+        self._occupied = occupied
+        self.num_keys = n
+        self._rebuild(gapped)
+
+    # ------------------------------------------------------------------
+    # structure maintenance
+    # ------------------------------------------------------------------
+    def _rebuild(self, gapped: np.ndarray) -> None:
+        self.data = SortedData(gapped, name=self.name)
+        self.model = InterpolationModel(gapped)
+        self.layer = ShiftTable.build(gapped, self.model)
+        self._index = CorrectedIndex(self.data, self.model, self.layer)
+        # the layer goes stale between refreshes as inserts shift slots;
+        # validated windows keep lookups exact regardless (§3.8 machinery)
+        self._index.validate = True
+        self._inserts_since = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self.data.keys)
+
+    @property
+    def gap_fraction(self) -> float:
+        """Remaining slack; expansion is due when it gets small."""
+        return 1.0 - self.num_keys / self.capacity
+
+    def needs_expand(self) -> bool:
+        """True once fewer than 5% of slots remain free."""
+        return self.gap_fraction < 0.05
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Gapped position of the first slot with key >= q.
+
+        Gap slots duplicate their *left* neighbour, so every equal-run
+        starts with a real slot — the lower bound therefore always lands
+        on a real slot (or capacity).  Convert with :meth:`rank` for a
+        logical, gap-free rank.
+        """
+        return self._index.lookup(q, tracker)
+
+    def rank(self, q) -> int:
+        """Logical (gap-free) rank of ``q``: occupied slots before it."""
+        pos = self._index.lookup(q)
+        return int(np.count_nonzero(self._occupied[:pos]))
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, key) -> int:
+        """Insert ``key``; returns how many slots were shifted.
+
+        Finds the insertion slot, then memmoves towards the nearest gap
+        — the ALEX trick that makes inserts O(gap distance) instead of
+        O(n).  Rebuilds model + layer lazily only when slack runs out.
+        """
+        keys = self.data.keys
+        occupied = self._occupied
+        capacity = len(keys)
+        pos = int(np.searchsorted(keys, key, side="left"))
+        if pos < capacity and not occupied[pos]:
+            # landing on a gap: claim it directly
+            keys[pos] = key
+            occupied[pos] = True
+            self.num_keys += 1
+            self._refresh_layer_entry()
+            return 0
+        # find nearest gap right then left
+        right = pos
+        while right < capacity and occupied[right]:
+            right += 1
+        left = pos - 1
+        while left >= 0 and occupied[left]:
+            left -= 1
+        if right < capacity and (left < 0 or right - pos <= pos - left):
+            keys[pos + 1 : right + 1] = keys[pos:right]
+            keys[pos] = key
+            occupied[right] = True
+            shifted = right - pos
+        elif left >= 0:
+            keys[left:pos - 1] = keys[left + 1 : pos]
+            keys[pos - 1] = key
+            occupied[left] = True
+            shifted = pos - 1 - left
+        else:
+            # completely full: expand (rebuild with fresh gaps)
+            real = keys[occupied]
+            merged = np.sort(np.append(real, keys.dtype.type(key)))
+            self.num_keys = len(merged)
+            fresh = GappedLearnedIndex(merged, self.density, self.name)
+            self.__dict__.update(fresh.__dict__)
+            return self.capacity
+        self.num_keys += 1
+        # repair gap clones around the shifted region: a gap must clone
+        # its left neighbour to stay sorted-consistent
+        self._refresh_layer_entry()
+        return shifted
+
+    def _refresh_layer_entry(self) -> None:
+        """Rebuild the correction layer when drift accumulates.
+
+        A full rebuild per insert would defeat the design; instead the
+        layer is refreshed after every ``capacity/16`` inserts (amortised
+        O(1) rebuild work per insert at fixed density), and exactness
+        between refreshes is preserved by the validated search path.
+        """
+        self._inserts_since = getattr(self, "_inserts_since", 0) + 1
+        if self._inserts_since >= max(self.capacity // 16, 1):
+            self._inserts_since = 0
+            self._rebuild(self.data.keys.copy())
+
+    def real_keys(self) -> np.ndarray:
+        """The logical key sequence (gaps removed)."""
+        return self.data.keys[self._occupied]

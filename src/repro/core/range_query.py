@@ -1,0 +1,134 @@
+"""Range-query front end over a corrected index (paper §1, §3.2).
+
+The paper's setting: records are clustered (sorted physically), so a
+range query ``A <= key < B`` is *find the first result, then scan*.  This
+module provides that front end plus the §3.2 operator conversions:
+
+* :func:`lower_bound` / :func:`upper_bound` — positions for ``>=`` and
+  ``>`` constraints.  The paper notes an index built for one comparison
+  operator serves the others "with a brief left/right scan"; for integer
+  keys ``upper_bound(q) == lower_bound(q + 1)``, which costs nothing.
+* :meth:`RangeQueryEngine.count` / :meth:`RangeQueryEngine.scan` — range
+  cardinality and the clustered scan itself, with the scan charged to the
+  tracker as sequential access (the part the paper deliberately excludes
+  from its latency numbers, §4: "we only report the lookup time for the
+  first result").
+* :meth:`RangeQueryEngine.explain` — a structured trace of one lookup
+  (prediction, partition, window, outcome) for debugging and teaching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker
+from ..models.base import partition_index, predicted_index
+from .compact import CompactShiftTable
+from .corrected_index import CorrectedIndex
+from .shift_table import ShiftTable
+
+
+@dataclass(frozen=True)
+class LookupTrace:
+    """What one corrected lookup did, step by step."""
+
+    query: int
+    prediction_float: float
+    predicted_index: int
+    partition: int | None
+    window_start: int | None
+    window_width: int | None
+    corrected_point: int | None
+    result: int
+    result_is_exact_match: bool
+
+
+class RangeQueryEngine:
+    """Clustered range queries on top of a :class:`CorrectedIndex`."""
+
+    def __init__(self, index: CorrectedIndex) -> None:
+        self.index = index
+        self.data = index.data
+
+    # ------------------------------------------------------------------
+    # point operators (§3.2)
+    # ------------------------------------------------------------------
+    def lower_bound(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Position of the first record with key >= q."""
+        return self.index.lookup(q, tracker)
+
+    def upper_bound(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Position one past the last record with key <= q.
+
+        Integer keys make this a single corrected lookup of ``q + 1``
+        (no duplicate-run scan needed); the key-domain maximum is handled
+        explicitly to avoid overflow.
+        """
+        keys = self.data.keys
+        max_key = np.iinfo(keys.dtype).max
+        if int(q) >= int(max_key):
+            return len(keys)
+        return self.index.lookup(keys.dtype.type(int(q) + 1), tracker)
+
+    def equal_range(
+        self, q, tracker: NullTracker = NULL_TRACKER
+    ) -> tuple[int, int]:
+        """``[first, last)`` positions of the duplicate run of ``q``."""
+        return self.lower_bound(q, tracker), self.upper_bound(q, tracker)
+
+    # ------------------------------------------------------------------
+    # range operators
+    # ------------------------------------------------------------------
+    def count(self, lo, hi, tracker: NullTracker = NULL_TRACKER) -> int:
+        """Number of records with ``lo <= key < hi``."""
+        if int(hi) <= int(lo):
+            return 0
+        return self.index.lookup(hi, tracker) - self.index.lookup(lo, tracker)
+
+    def scan(self, lo, hi, tracker: NullTracker = NULL_TRACKER) -> np.ndarray:
+        """Materialise the keys with ``lo <= key < hi`` (clustered scan).
+
+        The scan itself is charged as sequential access — the cost the
+        paper's evaluation intentionally leaves out of Table 2 because it
+        is identical for every index over the same clustered layout.
+        """
+        if int(hi) <= int(lo):
+            return self.data.keys[:0]
+        first = self.index.lookup(lo, tracker)
+        last = self.index.lookup(hi, tracker)
+        if last > first:
+            tracker.scan(self.data.region, first, last)
+        return self.data.keys[first:last]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def explain(self, q) -> LookupTrace:
+        """Trace one lookup through model, layer and last-mile search."""
+        index = self.index
+        n = len(self.data)
+        pred_float = index.model.predict_pos(q)
+        pred = predicted_index(pred_float, n)
+        partition = window_start = window_width = corrected = None
+        layer = index.layer
+        if isinstance(layer, ShiftTable):
+            partition = partition_index(pred_float, n, layer.num_partitions)
+            window_start, window_width = layer.window(pred_float)
+        elif isinstance(layer, CompactShiftTable):
+            partition = partition_index(pred_float, n, layer.num_partitions)
+            corrected = layer.correct(pred_float)
+        result = index.lookup(q)
+        exact = result < n and self.data.keys[result] == q
+        return LookupTrace(
+            query=int(q),
+            prediction_float=float(pred_float),
+            predicted_index=pred,
+            partition=partition,
+            window_start=window_start,
+            window_width=window_width,
+            corrected_point=corrected,
+            result=result,
+            result_is_exact_match=bool(exact),
+        )

@@ -1,0 +1,60 @@
+"""The clustered record array every index searches over (paper §4 setup).
+
+SOSD's layout: records sorted by key, each record a 32- or 64-bit key
+plus a 64-bit payload, physically clustered so a range scan is sequential
+once the first result is found.  The *record stride* matters to the
+simulator: a 12-byte record means ~5 records per cache line, which is why
+the last iterations of a binary search are free and why "hot keys are
+cached with their payload ... which wastes cache space" (§2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.machine import DEFAULT_PAYLOAD_BYTES
+from ..hardware.tracker import Region, alloc_region
+
+
+class SortedData:
+    """Sorted keys + implicit payloads, with a simulated memory region."""
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+        name: str = "data",
+    ) -> None:
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if len(keys) > 1 and not bool(np.all(keys[1:] >= keys[:-1])):
+            raise ValueError("keys must be sorted ascending")
+        self.keys = keys
+        self.payload_bytes = int(payload_bytes)
+        self.record_bytes = int(keys.dtype.itemsize) + self.payload_bytes
+        self.name = name
+        self.region: Region = alloc_region(
+            f"{name}_records", self.record_bytes, len(keys)
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def key_bits(self) -> int:
+        return self.keys.dtype.itemsize * 8
+
+    def lower_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Ground-truth lower-bound positions (used for verification)."""
+        return np.searchsorted(self.keys, queries, side="left")
+
+    def has_duplicates(self) -> bool:
+        """True if any key occupies more than one slot (ART rejects these)."""
+        if len(self.keys) < 2:
+            return False
+        return bool(np.any(self.keys[1:] == self.keys[:-1]))
+
+    def size_bytes(self) -> int:
+        """Total clustered-record footprint (keys + payloads)."""
+        return self.record_bytes * len(self.keys)

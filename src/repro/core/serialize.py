@@ -1,0 +1,120 @@
+"""Persistence for correction layers and simple models.
+
+A Shift-Table layer is a plain array and the paper stresses it is
+*detachable* (§3.9: it "can be disabled to free up memory space on
+run-time while the model can still be used").  Serialising it
+independently of the model makes that deployment story concrete: build
+once, ship the ``.npz``, re-attach at run time.
+
+Only numpy-native state is stored; loading never executes code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..models.interpolation import InterpolationModel
+from ..models.linear import LinearModel
+from .compact import CompactShiftTable
+from .shift_table import ShiftTable
+
+_FORMAT_VERSION = 1
+
+
+def save_shift_table(layer: ShiftTable, path: str | Path) -> None:
+    """Write an R-mode layer to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        kind=np.asarray("shift_table"),
+        version=np.asarray(_FORMAT_VERSION),
+        deltas=layer.deltas,
+        widths=layer.widths,
+        counts=layer.counts,
+        num_keys=np.asarray(layer.num_keys),
+    )
+
+
+def save_compact_shift_table(layer: CompactShiftTable, path: str | Path) -> None:
+    """Write an S-mode layer to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        kind=np.asarray("compact_shift_table"),
+        version=np.asarray(_FORMAT_VERSION),
+        drifts=layer.drifts,
+        counts=layer.counts,
+        num_keys=np.asarray(layer.num_keys),
+        mean_abs_error=np.asarray(layer.mean_abs_error),
+    )
+
+
+def load_layer(path: str | Path) -> ShiftTable | CompactShiftTable:
+    """Load a layer written by either save function."""
+    with np.load(path, allow_pickle=False) as archive:
+        kind = str(archive["kind"])
+        version = int(archive["version"])
+        if version > _FORMAT_VERSION:
+            raise ValueError(f"unsupported layer format version {version}")
+        if kind == "shift_table":
+            return ShiftTable(
+                deltas=archive["deltas"],
+                widths=archive["widths"],
+                counts=archive["counts"],
+                num_keys=int(archive["num_keys"]),
+            )
+        if kind == "compact_shift_table":
+            return CompactShiftTable(
+                drifts=archive["drifts"],
+                counts=archive["counts"],
+                num_keys=int(archive["num_keys"]),
+                mean_abs_error=float(archive["mean_abs_error"]),
+            )
+    raise ValueError(f"not a shift-table archive: kind={kind!r}")
+
+
+def save_simple_model(
+    model: InterpolationModel | LinearModel, path: str | Path
+) -> None:
+    """Write a two-parameter model as a small JSON sidecar."""
+    if isinstance(model, InterpolationModel):
+        payload = {
+            "kind": "interpolation",
+            "num_keys": model.num_keys,
+            "min": model._min,
+            "scale": model._scale,
+        }
+    elif isinstance(model, LinearModel):
+        payload = {
+            "kind": "linear",
+            "num_keys": model.num_keys,
+            "slope": model.slope,
+            "intercept": model.intercept,
+        }
+    else:
+        raise TypeError(f"cannot serialise model type {type(model).__name__}")
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_simple_model(path: str | Path) -> InterpolationModel | LinearModel:
+    """Load a model written by :func:`save_simple_model`."""
+    payload = json.loads(Path(path).read_text())
+    kind = payload["kind"]
+    if kind == "interpolation":
+        model = InterpolationModel.__new__(InterpolationModel)
+        model.num_keys = int(payload["num_keys"])
+        model._min = float(payload["min"])
+        model._scale = float(payload["scale"])
+        model._max = model._min + (
+            model.num_keys / model._scale if model._scale else 0.0
+        )
+        return model
+    if kind == "linear":
+        model = LinearModel.__new__(LinearModel)
+        model.num_keys = int(payload["num_keys"])
+        model.slope = float(payload["slope"])
+        model.intercept = float(payload["intercept"])
+        model.is_monotone = model.slope >= 0.0
+        return model
+    raise ValueError(f"unknown model kind {kind!r}")

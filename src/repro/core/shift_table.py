@@ -1,0 +1,248 @@
+"""The Shift-Table correction layer, R-mode (paper §3, Algorithms 1–2).
+
+Given a monotone CDF model, the layer is an array indexed by the model's
+own output: partition ``P_j`` collects the keys the model sends to
+partition ``j``, and the entry stores
+
+* ``delta[j]`` — eq. (2)/(5): ``min(N·F(x) − ⌊N·F_θ(x)⌋)`` over ``P_j``,
+  i.e. how far the *local search start* must shift from the prediction;
+* ``width[j]`` — eq. (6): the largest extra offset needed beyond that
+  start, so the guaranteed window for a prediction ``p`` in partition
+  ``j`` is ``[p + delta[j], p + delta[j] + width[j]]``.
+
+With ``M = N`` (the paper's default, §3.9) every prediction *is* its own
+partition and the window is exactly ``[k+Δ_k, k+Δ_k+C_k−1]`` of §3;
+``width = C_k − 1``.  With ``M < N`` the layer is the paper's merged-
+partition compression (§3.4, eqs. 4–6).
+
+Empty partitions get pseudo-entries pointing at the first record of the
+next non-empty partition (§3.1, and the backward pass of Algorithm 2 —
+note the paper's pseudo-code indexes ``k−1`` where its own text and
+Figure 5 require the *right* neighbour; we follow the text).  Entries are
+stored as a single array of ``<Δ, C>`` pairs, exactly one memory lookup
+per query (the paper's core selling point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
+from ..models.base import CDFModel, partition_index, partition_index_batch
+from ..datasets.cdf import key_positions
+
+
+def _entry_bytes(max_abs_delta: int, max_width: int) -> int:
+    """Per-field width needed to store the layer (§3.9, last paragraph).
+
+    The paper notes that when the model error is small the entries can
+    shrink (e.g. 16-bit shifts).  We pick the smallest of 2/4/8 bytes per
+    field that fits both the deltas and the widths.
+    """
+    bound = max(max_abs_delta, max_width)
+    for bytes_per_field in (1, 2, 4):
+        if bound < (1 << (8 * bytes_per_field - 1)):
+            return 2 * bytes_per_field
+    return 16  # two full int64 fields
+
+
+class ShiftTable:
+    """R-mode correction layer: ``<Δ, C>`` pairs, one lookup per query."""
+
+    def __init__(
+        self,
+        deltas: np.ndarray,
+        widths: np.ndarray,
+        counts: np.ndarray,
+        num_keys: int,
+    ) -> None:
+        if not (len(deltas) == len(widths) == len(counts)):
+            raise ValueError("deltas, widths and counts must align")
+        self.deltas = deltas
+        self.widths = widths
+        self.counts = counts
+        self.num_keys = int(num_keys)
+        self.num_partitions = len(deltas)
+        self.entry_bytes = _entry_bytes(
+            int(np.abs(deltas).max(initial=0)), int(widths.max(initial=0))
+        )
+        self.region = alloc_region(
+            f"shift_table_{id(self):x}", self.entry_bytes, self.num_partitions
+        )
+
+    # ------------------------------------------------------------------
+    # construction (Algorithm 2, vectorised)
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        model: CDFModel,
+        num_partitions: int | None = None,
+    ) -> "ShiftTable":
+        """Build the layer in one pass over the data (Algorithm 2).
+
+        ``num_partitions`` is the paper's ``M``; the default ``M = N`` is
+        the paper's recommended configuration (§3.9).
+        """
+        n = len(data)
+        if n == 0:
+            raise ValueError("cannot build a Shift-Table over empty data")
+        if n != model.num_keys:
+            raise ValueError("model was trained for a different key count")
+        m = int(num_partitions) if num_partitions is not None else n
+        if m <= 0:
+            raise ValueError("num_partitions must be positive")
+
+        pred_float = model.predict_pos_batch(data)
+        pred = np.clip(pred_float.astype(np.int64), 0, n - 1)
+        part = partition_index_batch(pred_float, n, m)
+        pos = key_positions(data)  # lower-bound position of every slot (§3.2)
+
+        drift = pos - pred
+        deltas = np.full(m, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(deltas, part, drift)
+        counts = np.bincount(part, minlength=m).astype(np.int64)
+        occupied = counts > 0
+
+        # the window end must cover every *slot* of the partition, not just
+        # lower-bound positions: the paper's C_k counts array slots, which
+        # is what makes a window span an entire duplicate run (§3.1's
+        # "just after the range" argument depends on it)
+        slot = np.arange(n, dtype=np.int64)
+        widths = np.zeros(m, dtype=np.int64)
+        occupied_safe = np.where(occupied, deltas, 0)
+        np.maximum.at(widths, part, slot - (pred + occupied_safe[part]))
+
+        # earliest data position covered by each partition, for the
+        # empty-partition back-fill
+        starts = np.full(m, n, dtype=np.int64)
+        np.minimum.at(starts, part, pos)
+
+        deltas, widths = cls._fill_empty(
+            deltas, widths, starts, occupied, n, m
+        )
+        return cls(deltas, widths, counts, n)
+
+    @staticmethod
+    def _fill_empty(
+        deltas: np.ndarray,
+        widths: np.ndarray,
+        starts: np.ndarray,
+        occupied: np.ndarray,
+        n: int,
+        m: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pseudo-entries for empty partitions (§3.1, Algorithm 2 pass 2).
+
+        A query predicted into an empty partition ``j`` must land on the
+        first record of the next non-empty partition, at position ``s'``.
+        Predictions in partition ``j`` range over ``[b_j, b_{j+1})`` where
+        ``b_j = ⌈j·N/M⌉``, so the entry is chosen to cover ``s'`` from any
+        of them:  ``delta = s' − (b_{j+1}−1)`` and the width absorbs the
+        partition's prediction span plus the neighbour's own width.  For
+        ``M = N`` this reduces exactly to the paper's
+        ``Δ_{k∅} = Δ_next + (k_next − k∅)``, ``C_{k∅} = C_next``.
+        Trailing empty partitions point one past the last key.
+        """
+        if bool(occupied.all()):
+            return deltas, widths
+        idx = np.arange(m)
+        # index of the next occupied partition at or after j (m if none)
+        next_occ = np.where(occupied, idx, m)
+        next_occ = np.minimum.accumulate(next_occ[::-1])[::-1]
+
+        # prediction-range bounds per partition
+        if m == n:
+            b_lo = idx
+            b_hi_minus1 = idx
+        else:
+            # smallest / largest integer prediction p with ⌊p·(m/n)⌋ == j,
+            # bounded via the partition boundaries with a ±1 margin so
+            # float rounding in the partition computation can never push a
+            # prediction outside the covered span (widths only grow)
+            b_lo = np.maximum(np.ceil(idx * (n / m)).astype(np.int64) - 1, 0)
+            b_hi_minus1 = np.minimum(
+                np.ceil((idx + 1) * (n / m)).astype(np.int64), n - 1
+            )
+            b_hi_minus1 = np.maximum(b_hi_minus1, b_lo)
+
+        empty = ~occupied
+        has_next = next_occ < m
+        j_next = np.where(has_next, next_occ, m - 1)
+        s_next = np.where(has_next, starts[j_next], n)
+        w_next = np.where(has_next, widths[j_next], 0)
+
+        deltas = deltas.copy()
+        widths = widths.copy()
+        deltas[empty] = s_next[empty] - b_hi_minus1[empty]
+        widths[empty] = (b_hi_minus1[empty] - b_lo[empty]) + w_next[empty]
+        return deltas, widths
+
+    # ------------------------------------------------------------------
+    # query path (Algorithm 1, lines 2–4)
+    # ------------------------------------------------------------------
+    def window(
+        self, pred_float: float, tracker: NullTracker = NULL_TRACKER
+    ) -> tuple[int, int]:
+        """Guaranteed local-search window for a model prediction.
+
+        Returns ``(start, width)``: the result lies in
+        ``[start, start+width]`` (or at ``start+width+1`` for non-indexed
+        queries just past the window, §3.1).  Costs exactly one layer
+        lookup.
+        """
+        n = self.num_keys
+        j = partition_index(pred_float, n, self.num_partitions)
+        tracker.touch(self.region, j)
+        tracker.instr(4)
+        if pred_float <= 0.0:
+            pred = 0
+        else:
+            pred = int(pred_float)
+            if pred >= n:
+                pred = n - 1
+        return pred + int(self.deltas[j]), int(self.widths[j])
+
+    def window_batch(self, pred_float: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`window` (no tracing)."""
+        n = self.num_keys
+        j = partition_index_batch(pred_float, n, self.num_partitions)
+        pred = np.clip(pred_float.astype(np.int64), 0, n - 1)
+        return pred + self.deltas[j], self.widths[j]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Layer footprint: M entries of the auto-chosen width."""
+        return self.num_partitions * self.entry_bytes
+
+    def expected_window(self) -> float:
+        """Mean window length over a uniform-over-keys query workload."""
+        if self.counts.sum() == 0:
+            return 0.0
+        return float((self.counts * (self.widths + 1)).sum() / self.counts.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShiftTable(M={self.num_partitions}, N={self.num_keys}, "
+            f"entry_bytes={self.entry_bytes})"
+        )
+
+
+def pack_layer_arrays(layer: "ShiftTable") -> "ShiftTable":
+    """Re-store the layer's arrays at their minimal integer width.
+
+    ``entry_bytes`` already *accounts* for the §3.9 entry-width rule in
+    the simulated footprint; packing applies it to the actual numpy
+    arrays too, so host memory matches the simulated memory.  Returns
+    the same layer object with ``deltas``/``widths`` narrowed (int64
+    arithmetic still applies on read — numpy upcasts automatically).
+    """
+    field_bytes = layer.entry_bytes // 2
+    dtype = {1: np.int8, 2: np.int16, 4: np.int32, 8: np.int64}[field_bytes]
+    layer.deltas = layer.deltas.astype(dtype)
+    # widths are non-negative; same signed dtype keeps comparisons simple
+    layer.widths = layer.widths.astype(dtype)
+    return layer

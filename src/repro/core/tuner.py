@@ -1,0 +1,199 @@
+"""The §3.9 tuning procedure: decide the index configuration by cost model.
+
+Tuning a Shift-Table deployment answers three questions:
+
+1. *model alone or model + layer?*  — compare eq. (9) vs eq. (10), or use
+   the §4.1 error-threshold rule when no latency curve is available;
+2. *which layer size M?*  — the paper's default is ``M = N`` ("using a
+   mapping layer that has the same number of entries as the keys ...
+   exhibits its ultimate effect", §3.9), with S-X compression as the
+   memory-bound fallback;
+3. *which local search?*  — guaranteed windows use linear below the
+   8-key threshold and binary above it; point estimates use linear or
+   exponential search by expected error (§3.8).
+
+:func:`tune` runs the procedure and returns the chosen index together
+with a report of every configuration it considered.  There are also small
+grid tuners for the RMI and RadixSpline baselines (substitution S4: SOSD
+hand-picks per-dataset RMI architectures, we search a grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.base import CDFModel
+from ..models.rmi import RMIModel
+from ..models.radix_spline import RadixSplineModel
+from .compact import CompactShiftTable
+from .corrected_index import CorrectedIndex
+from .cost_model import (
+    LatencyCurve,
+    expected_error,
+    latency_with_layer,
+    latency_without_layer,
+    should_enable_layer,
+)
+from .errors import signed_drift
+from .records import SortedData
+from .shift_table import ShiftTable
+
+
+@dataclass
+class TuningReport:
+    """Everything the §3.9 procedure looked at before deciding."""
+
+    error_before: float
+    error_after: float
+    layer_enabled: bool
+    predicted_ns_without: float | None = None
+    predicted_ns_with: float | None = None
+    considered: list[dict] = field(default_factory=list)
+
+
+def tune(
+    data: SortedData,
+    model: CDFModel,
+    curve: LatencyCurve | None = None,
+    model_ns: float = 10.0,
+    num_partitions: int | None = None,
+) -> tuple[CorrectedIndex, TuningReport]:
+    """Run the §3.9 procedure for one model over one dataset.
+
+    With a measured latency curve the decision compares eq. (9) against
+    eq. (10); without one it falls back to §4.1's error-threshold rule.
+    """
+    layer = ShiftTable.build(data.keys, model, num_partitions)
+    error_before = float(np.abs(signed_drift(data.keys, model)).mean())
+    error_after = expected_error(layer.counts)
+
+    if curve is not None:
+        ns_with = latency_with_layer(model_ns, layer.counts, curve)
+        ns_without = latency_without_layer(
+            model_ns, layer.counts, layer.deltas, curve
+        )
+        enable = ns_with < ns_without
+    else:
+        ns_with = ns_without = None
+        enable = should_enable_layer(error_before, error_after)
+
+    report = TuningReport(
+        error_before=error_before,
+        error_after=error_after,
+        layer_enabled=enable,
+        predicted_ns_without=ns_without,
+        predicted_ns_with=ns_with,
+    )
+    index = CorrectedIndex(data, model, layer if enable else None)
+    return index, report
+
+
+#: The paper's best face64 RMI averages ~35 keys per leaf (a 136 MB model
+#: over 200M keys); scaled-down runs must not hand RMI finer leaves than
+#: the original hardware budget allowed, or the micro-structure the paper
+#: is about disappears into the leaves.
+MIN_KEYS_PER_LEAF = 32
+
+
+def _default_l3_bytes(data: SortedData) -> int:
+    from ..hardware.machine import MachineSpec
+
+    return MachineSpec.paper().scaled_for(len(data), data.record_bytes).l3_bytes
+
+
+def tune_rmi(
+    data: SortedData,
+    leaf_counts: tuple[int, ...] = (1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18),
+    roots: tuple[str, ...] = ("linear", "radix"),
+    curve: LatencyCurve | None = None,
+    l3_bytes: int | None = None,
+) -> tuple[RMIModel, list[dict]]:
+    """Grid-tune an RMI (substitution S4 for SOSD's hand-picked models).
+
+    The score mirrors the paper's trade-off: last-mile latency from the
+    mean error (via the curve when available) plus a model-access penalty
+    that kicks in when the leaf array outgrows the (scaled) last-level
+    cache.  Leaf counts are capped at ``n / MIN_KEYS_PER_LEAF`` to keep
+    the paper's keys-per-leaf budget under dataset scaling (DESIGN.md S3).
+    """
+    if l3_bytes is None:
+        l3_bytes = _default_l3_bytes(data)
+    max_leaves = max(len(data) // MIN_KEYS_PER_LEAF, 2)
+    considered = []
+    best: tuple[float, RMIModel] | None = None
+    for root in roots:
+        for leaves in leaf_counts:
+            leaves = min(leaves, max_leaves)
+            model = RMIModel(data.keys, num_leaves=leaves, root=root)
+            err = max(model.mean_abs_error, 1.0)
+            if curve is not None:
+                local_ns = float(curve(err))
+            else:
+                local_ns = 36.0 * np.log2(err + 1.0)
+            size_penalty = 36.0 if model.size_bytes() > l3_bytes else 12.0
+            score = local_ns + size_penalty
+            considered.append(
+                {
+                    "root": root,
+                    "leaves": leaves,
+                    "mean_abs_error": model.mean_abs_error,
+                    "size_bytes": model.size_bytes(),
+                    "score_ns": score,
+                }
+            )
+            if best is None or score < best[0]:
+                best = (score, model)
+    assert best is not None, "no RMI configuration fits the data"
+    return best[1], considered
+
+
+def tune_radix_spline(
+    data: SortedData,
+    epsilons: tuple[int, ...] = (8, 32, 128),
+    radix_bits: int = 18,
+    curve: LatencyCurve | None = None,
+    l3_bytes: int | None = None,
+) -> tuple[RadixSplineModel, list[dict]]:
+    """Grid-tune a RadixSpline's error bound the same way."""
+    if l3_bytes is None:
+        l3_bytes = _default_l3_bytes(data)
+    considered = []
+    best: tuple[float, RadixSplineModel] | None = None
+    for eps in epsilons:
+        model = RadixSplineModel(data.keys, epsilon=eps, radix_bits=radix_bits)
+        if curve is not None:
+            local_ns = float(curve(max(eps, 1)))
+        else:
+            local_ns = 36.0 * np.log2(eps + 1.0)
+        size_penalty = 36.0 if model.size_bytes() > l3_bytes else 12.0
+        score = local_ns + size_penalty
+        considered.append(
+            {
+                "epsilon": eps,
+                "spline_points": model.num_spline_points,
+                "size_bytes": model.size_bytes(),
+                "score_ns": score,
+            }
+        )
+        if best is None or score < best[0]:
+            best = (score, model)
+    assert best is not None
+    return best[1], considered
+
+
+def choose_compact_layer(
+    data: SortedData,
+    model: CDFModel,
+    budget_bytes: int,
+) -> CompactShiftTable:
+    """Largest S-mode layer that fits a memory budget (§3.4 compression)."""
+    n = len(data)
+    m = n
+    while m > 1:
+        probe = CompactShiftTable.build(data.keys, model, num_partitions=m)
+        if probe.size_bytes() <= budget_bytes:
+            return probe
+        m //= 2
+    return CompactShiftTable.build(data.keys, model, num_partitions=1)

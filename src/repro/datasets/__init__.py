@@ -1,0 +1,61 @@
+"""SOSD-style datasets: synthetic generators plus real-world surrogates.
+
+See DESIGN.md substitution S2 for what each surrogate preserves from the
+original dataset it stands in for.
+"""
+
+from .cdf import (
+    cdf_series,
+    key_positions,
+    local_linearity,
+    lower_bound_positions,
+    upper_bound_positions,
+)
+from .realworld import amzn, face, osmc, wiki
+from .stats import (
+    CongestionProfile,
+    burstiness,
+    congestion_profile,
+    duplication_ratio,
+    gap_tail_index,
+)
+from .registry import (
+    REALWORLD_NAMES,
+    SYNTHETIC_NAMES,
+    TABLE2_DATASETS,
+    clear_cache,
+    dataset_names,
+    is_real_world,
+    load,
+    parse_name,
+)
+from .synthetic import logn, norm, uden, uspr
+
+__all__ = [
+    "logn",
+    "norm",
+    "uden",
+    "uspr",
+    "amzn",
+    "face",
+    "osmc",
+    "wiki",
+    "load",
+    "parse_name",
+    "dataset_names",
+    "is_real_world",
+    "clear_cache",
+    "TABLE2_DATASETS",
+    "SYNTHETIC_NAMES",
+    "REALWORLD_NAMES",
+    "lower_bound_positions",
+    "key_positions",
+    "upper_bound_positions",
+    "local_linearity",
+    "cdf_series",
+    "duplication_ratio",
+    "gap_tail_index",
+    "congestion_profile",
+    "CongestionProfile",
+    "burstiness",
+]

@@ -1,0 +1,80 @@
+"""Registry of the 14 SOSD datasets used in Table 2 of the paper.
+
+Each name resolves to ``(generator, bits)``; :func:`load` produces the
+sorted key array, memoised per ``(name, n, seed)`` so a benchmark sweep
+touching the same dataset many times pays generation cost once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from . import realworld, synthetic
+
+#: The exact dataset list of Table 2, in the paper's row order.
+TABLE2_DATASETS = (
+    "logn32",
+    "norm32",
+    "uden32",
+    "uspr32",
+    "logn64",
+    "norm64",
+    "uden64",
+    "uspr64",
+    "amzn32",
+    "face32",
+    "amzn64",
+    "face64",
+    "osmc64",
+    "wiki64",
+)
+
+SYNTHETIC_NAMES = ("logn", "norm", "uden", "uspr")
+REALWORLD_NAMES = ("amzn", "face", "osmc", "wiki")
+
+_GENERATORS: dict[str, Callable[..., np.ndarray]] = {
+    "logn": synthetic.logn,
+    "norm": synthetic.norm,
+    "uden": synthetic.uden,
+    "uspr": synthetic.uspr,
+    "amzn": realworld.amzn,
+    "face": realworld.face,
+    "osmc": realworld.osmc,
+    "wiki": realworld.wiki,
+}
+
+_cache: dict[tuple[str, int, int], np.ndarray] = {}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """The Table 2 dataset names, in the paper's row order."""
+    return TABLE2_DATASETS
+
+
+def is_real_world(name: str) -> bool:
+    """True for the four real-world surrogate datasets."""
+    return parse_name(name)[0] in REALWORLD_NAMES
+
+
+def parse_name(name: str) -> tuple[str, int]:
+    """Split ``'face64'`` into ``('face', 64)``; validates both parts."""
+    base, bits_str = name[:-2], name[-2:]
+    if bits_str not in ("32", "64") or base not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; known: {TABLE2_DATASETS}")
+    return base, int(bits_str)
+
+
+def load(name: str, n: int, seed: int = 42) -> np.ndarray:
+    """Load (generate) a dataset by Table 2 name, memoised."""
+    key = (name, n, seed)
+    if key not in _cache:
+        base, bits = parse_name(name)
+        _cache[key] = _GENERATORS[base](n, bits=bits, seed=seed)
+    return _cache[key]
+
+
+def clear_cache() -> None:
+    """Drop all memoised dataset arrays (frees memory in sweeps)."""
+    _cache.clear()

@@ -1,0 +1,105 @@
+"""Distribution diagnostics behind the paper's §2.4 / §3.6 analysis.
+
+These quantify the properties the paper argues make data hard for a
+learned index (and easy or hard for the Shift-Table):
+
+* :func:`duplication_ratio` — fraction of slots holding a repeated key
+  (Table 2's ART "N/A" driver);
+* :func:`gap_tail_index` — heavy-tailedness of the key gaps (a Hill-style
+  estimator; lower = heavier tail = rougher micro-structure);
+* :func:`congestion_profile` — the distribution of partition sizes
+  ``C_k`` under the dummy IM model, i.e. §3.6's "congestion of keys in a
+  small sub-range ... partitions with high C_k" — the one failure mode
+  the paper names for Shift-Table;
+* :func:`burstiness` — coefficient of variation of per-bucket arrival
+  counts (the wiki-style temporal clumping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.interpolation import InterpolationModel
+
+
+def duplication_ratio(keys: np.ndarray) -> float:
+    """Fraction of array slots occupied by a duplicate of a previous key."""
+    if len(keys) < 2:
+        return 0.0
+    return float(np.mean(keys[1:] == keys[:-1]))
+
+
+def gap_tail_index(keys: np.ndarray, tail_fraction: float = 0.05) -> float:
+    """Hill estimator of the key-gap tail exponent (lower = heavier).
+
+    Computed over the largest ``tail_fraction`` of the positive gaps.
+    Smooth synthetic data has thin tails (large exponent); burst/cluster
+    structured data has heavy tails (exponent near or below 1).
+    """
+    gaps = np.diff(keys.astype(np.float64))
+    gaps = gaps[gaps > 0]
+    if len(gaps) < 20:
+        return float("nan")
+    k = max(int(len(gaps) * tail_fraction), 10)
+    tail = np.sort(gaps)[-k:]
+    threshold = tail[0]
+    mean_log = float(np.mean(np.log(tail / threshold + 1e-300)))
+    if mean_log <= 0.0:
+        # degenerate: all tail gaps equal (e.g. dense integers) — an
+        # infinitely thin tail
+        return float("inf")
+    return 1.0 / mean_log
+
+
+@dataclass(frozen=True)
+class CongestionProfile:
+    """Summary of partition sizes C_k under the IM model with M = N."""
+
+    mean: float
+    p99: float
+    max: float
+    occupied_fraction: float
+    eq8_error: float
+
+    @property
+    def is_congested(self) -> bool:
+        """§3.6's hard case: some partitions collect very many keys."""
+        return self.max > 100 * max(self.mean, 1.0)
+
+
+def congestion_profile(keys: np.ndarray) -> CongestionProfile:
+    """Partition-size statistics under the dummy interpolation model."""
+    n = len(keys)
+    model = InterpolationModel(keys)
+    pred = np.clip(model.predict_pos_batch(keys).astype(np.int64), 0, n - 1)
+    counts = np.bincount(pred, minlength=n)
+    occupied = counts[counts > 0]
+    return CongestionProfile(
+        mean=float(occupied.mean()),
+        p99=float(np.percentile(occupied, 99)),
+        max=float(occupied.max()),
+        occupied_fraction=float(len(occupied) / n),
+        eq8_error=float((counts.astype(np.float64) ** 2).sum() / (2 * n)),
+    )
+
+
+def burstiness(keys: np.ndarray, buckets: int = 1024) -> float:
+    """Coefficient of variation of per-bucket key counts.
+
+    1.0 for a Poisson-uniform stream; wiki-style bursty timestamps and
+    osmc-style spatial clustering push it well above 1.
+    """
+    n = len(keys)
+    if n < buckets:
+        raise ValueError("need at least one key per bucket")
+    lo = float(keys[0])
+    hi = float(keys[-1])
+    if hi <= lo:
+        return 0.0
+    idx = ((keys.astype(np.float64) - lo) / (hi - lo) * (buckets - 1)).astype(
+        np.int64
+    )
+    counts = np.bincount(idx, minlength=buckets).astype(np.float64)
+    return float(counts.std() / max(counts.mean(), 1e-9))

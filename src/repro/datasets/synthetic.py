@@ -1,0 +1,112 @@
+"""SOSD-style synthetic dataset generators (paper §4, "Datasets").
+
+Four distributions, matching the benchmark's synthetic half:
+
+* ``uden`` — uniformly-generated *dense* integers: consecutive values from
+  a random offset.  The CDF is an exact straight line; the paper notes RMI
+  models it "with a simple line (two parameters) with near-zero error".
+* ``uspr`` — uniformly-generated *sparse* integers: uniform samples over
+  the full key-width domain.  Same macro shape as ``uden`` but with
+  "significantly higher variance" between neighbouring keys (§3.6).
+* ``logn`` — lognormal(0, 2), scaled to integers.  Very skewed but
+  *smooth*, hence easy for spline-based learned indexes (§2.4).
+* ``norm`` — standard normal, shifted/scaled to the key domain.
+
+All generators return **sorted** arrays of the requested dtype and are
+deterministic in ``seed``.  Duplicates are kept when the scaling naturally
+produces them (the 32-bit lognormal and sparse-uniform datasets contain
+duplicates at SOSD scale, which is why the paper reports ART as "N/A"
+there — our ART baseline rejects duplicates the same way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DTYPES = {32: np.uint32, 64: np.uint64}
+
+
+def _check(n: int, bits: int) -> None:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if bits not in _DTYPES:
+        raise ValueError(f"bits must be 32 or 64, got {bits}")
+
+
+def _strictify(sorted_keys: np.ndarray) -> np.ndarray:
+    """Bump birthday collisions so the sorted keys become strictly increasing.
+
+    ``out[i] = max(keys[i], out[i-1] + 1)`` vectorised; used for the
+    synthetic datasets that are duplicate-free at SOSD scale (Table 2
+    reports ART — which rejects duplicates — as supported on them).
+    """
+    idx = np.arange(len(sorted_keys), dtype=np.int64)
+    shifted = sorted_keys.astype(np.int64) - idx
+    return (np.maximum.accumulate(shifted) + idx).astype(np.uint64)
+
+
+def uden(n: int, bits: int = 64, seed: int = 0) -> np.ndarray:
+    """Dense uniform integers: ``offset + 0..n-1`` (exactly linear CDF).
+
+    The offset stays below 2^31 so 64-bit keys remain exactly
+    representable as float64 inside the learned models.
+    """
+    _check(n, bits)
+    rng = np.random.default_rng(seed)
+    offset = int(rng.integers(0, 1 << 31))
+    return (offset + np.arange(n, dtype=np.uint64)).astype(_DTYPES[bits])
+
+
+def uspr(n: int, bits: int = 64, seed: int = 0) -> np.ndarray:
+    """Sparse uniform integers.
+
+    The 32-bit variant preserves SOSD's occupancy ratio (200M keys in a
+    2^32 domain ≈ 4.7%) at any scale, so its birthday-collision rate —
+    the duplicates that make ART report "N/A" in Table 2 — survives the
+    scale-down.  The 64-bit variant draws from the full 2^63 domain and
+    is collision-free in practice, again matching Table 2.
+    """
+    _check(n, bits)
+    rng = np.random.default_rng(seed)
+    if bits == 32:
+        occupancy = 200_000_000 / float(1 << 32)  # SOSD scale
+        high = min((1 << 32) - 1, max(int(n / occupancy), 4 * n))
+    else:
+        high = (1 << 63) - 1
+    keys = rng.integers(0, high, size=n, dtype=np.uint64)
+    keys.sort()
+    return keys.astype(_DTYPES[bits])
+
+
+def logn(n: int, bits: int = 64, seed: int = 0) -> np.ndarray:
+    """Lognormal(0, 2) values scaled to integers (SOSD's ``logn`` recipe).
+
+    The 32-bit variant concentrates billions of samples on a few million
+    distinct small values, producing the duplicate-heavy dataset the paper
+    marks "N/A" for ART.
+    """
+    _check(n, bits)
+    rng = np.random.default_rng(seed)
+    values = rng.lognormal(mean=0.0, sigma=2.0, size=n)
+    scale = 1e6 if bits == 32 else 1e9
+    keys = np.minimum(values * scale, float(2 ** (bits - 1))).astype(np.uint64)
+    keys.sort()
+    if bits == 64:
+        # at SOSD scale the 64-bit variant is duplicate-free (Table 2
+        # reports ART support); remove the rare birthday collisions
+        keys = _strictify(keys)
+    return keys.astype(_DTYPES[bits])
+
+
+def norm(n: int, bits: int = 64, seed: int = 0) -> np.ndarray:
+    """Standard normal values shifted and scaled to the key domain."""
+    _check(n, bits)
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(n)
+    lo, hi = values.min(), values.max()
+    span = hi - lo if hi > lo else 1.0
+    domain = float(2 ** (bits - 1))
+    keys = ((values - lo) / span * (domain - 1.0)).astype(np.uint64)
+    keys.sort()
+    # duplicate-free at SOSD scale for both widths (ART supported)
+    return _strictify(keys).astype(_DTYPES[bits])

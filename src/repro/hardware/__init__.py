@@ -1,0 +1,31 @@
+"""Simulated memory hierarchy (DESIGN.md substitution S1).
+
+The paper's claims are about cache behaviour: who misses the LLC, how many
+lines a local search walks, whether model parameters fit in cache.  This
+package provides the measurement instrument that replaces the paper's
+hardware counters: a line-granular L1/L2/L3/DRAM model with the i7-6700
+latencies from §4, a sequential-prefetch model for scans, and an
+instruction-cost term.
+"""
+
+from .cache import LRUCacheLevel
+from .hierarchy import HierarchyStats, MemoryHierarchy
+from .machine import DEFAULT_PAYLOAD_BYTES, PAPER_NUM_KEYS, MachineSpec
+from .set_associative import SetAssociativeCacheLevel, build_hierarchy
+from .tracker import NULL_TRACKER, NullTracker, Region, SimTracker, alloc_region
+
+__all__ = [
+    "LRUCacheLevel",
+    "SetAssociativeCacheLevel",
+    "build_hierarchy",
+    "MemoryHierarchy",
+    "HierarchyStats",
+    "MachineSpec",
+    "PAPER_NUM_KEYS",
+    "DEFAULT_PAYLOAD_BYTES",
+    "Region",
+    "alloc_region",
+    "NullTracker",
+    "NULL_TRACKER",
+    "SimTracker",
+]

@@ -1,0 +1,70 @@
+"""A single simulated cache level.
+
+Each level is a fully-associative LRU cache over 64-byte line addresses.
+Real L1/L2/L3 caches are set-associative; full associativity is a
+deliberate simplification (DESIGN.md, substitution S1): conflict misses
+are second-order for the streaming/pointer-chasing access patterns this
+reproduction models, and a fully-associative LRU keeps behaviour sensible
+when capacities are scaled down for small datasets.
+
+``OrderedDict`` gives O(1) hit/promote/evict, which keeps the simulator
+fast enough to run thousands of queries per configuration.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+
+class LRUCacheLevel:
+    """Fully-associative LRU cache over line addresses."""
+
+    __slots__ = ("capacity", "latency_ns", "_lines", "hits", "misses")
+
+    def __init__(self, capacity_lines: int, latency_ns: float) -> None:
+        if capacity_lines <= 0:
+            raise ValueError("capacity_lines must be positive")
+        self.capacity = capacity_lines
+        self.latency_ns = latency_ns
+        self._lines: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    def lookup(self, line: int) -> bool:
+        """Probe for ``line``; promote on hit.  Returns True on hit."""
+        lines = self._lines
+        if line in lines:
+            lines.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line: int) -> None:
+        """Insert ``line``, evicting the LRU line if at capacity."""
+        lines = self._lines
+        if line in lines:
+            lines.move_to_end(line)
+            return
+        if len(lines) >= self.capacity:
+            lines.popitem(last=False)
+        lines[line] = None
+
+    def fill_many(self, new_lines: Iterable[int]) -> None:
+        for line in new_lines:
+            self.fill(line)
+
+    def flush(self) -> None:
+        """Drop all cached lines (stats are kept)."""
+        self._lines.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

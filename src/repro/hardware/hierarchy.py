@@ -1,0 +1,175 @@
+"""Three-level simulated memory hierarchy with DRAM backing.
+
+This is the measurement instrument of the whole reproduction (DESIGN.md,
+substitution S1): every index implementation routes its memory touches
+through a :class:`MemoryHierarchy`, which charges the latency of the level
+that serves each 64-byte line and keeps per-level hit/miss counters.  The
+resulting "simulated nanoseconds" play the role of the paper's measured
+nanoseconds.
+
+Two access primitives are provided:
+
+* :meth:`access` — one random (pointer-chase) access to a line.  Probes
+  L1, L2, L3 in order; a full miss costs DRAM latency; the line is then
+  filled into all levels (inclusive hierarchy).
+* :meth:`scan` — a sequential scan over a contiguous line range.  The
+  first missing line pays the full DRAM latency; subsequent missing lines
+  are charged ``seq_line_ns`` each, modelling the hardware prefetcher.
+  Very long scans take an analytic fast path so simulating a multi-MB
+  linear search stays O(1) in Python (the cache contents are flushed in
+  that case, as the scan would have evicted everything anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import LRUCacheLevel
+from .machine import MachineSpec
+
+#: Scans longer than this many lines switch to the analytic fast path.
+_EXACT_SCAN_LIMIT = 4096
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated counters since the last ``reset_stats``."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    dram_accesses: int = 0
+    scan_lines: int = 0
+    instructions: int = 0
+    total_ns: float = 0.0
+
+    @property
+    def l1_misses(self) -> int:
+        return self.accesses - self.l1_hits
+
+    @property
+    def llc_misses(self) -> int:
+        """Accesses that went all the way to DRAM (the paper's LLC misses)."""
+        return self.dram_accesses
+
+
+class MemoryHierarchy:
+    """Inclusive L1/L2/L3 + DRAM model charging per-access latencies."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self.l1 = LRUCacheLevel(spec.l1_lines, spec.l1_ns)
+        self.l2 = LRUCacheLevel(spec.l2_lines, spec.l2_ns)
+        self.l3 = LRUCacheLevel(spec.l3_lines, spec.l3_ns)
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------------
+    # access primitives
+    # ------------------------------------------------------------------
+    def access(self, line: int) -> float:
+        """One pointer-chase access to ``line``; returns its cost in ns."""
+        stats = self.stats
+        stats.accesses += 1
+        if self.l1.lookup(line):
+            ns = self.spec.l1_ns
+            stats.l1_hits += 1
+        elif self.l2.lookup(line):
+            ns = self.spec.l2_ns
+            stats.l2_hits += 1
+            self.l1.fill(line)
+        elif self.l3.lookup(line):
+            ns = self.spec.l3_ns
+            stats.l3_hits += 1
+            self.l2.fill(line)
+            self.l1.fill(line)
+        else:
+            ns = self.spec.dram_ns
+            stats.dram_accesses += 1
+            self.l3.fill(line)
+            self.l2.fill(line)
+            self.l1.fill(line)
+        stats.total_ns += ns
+        return ns
+
+    def scan(self, first_line: int, num_lines: int) -> float:
+        """Sequential scan over ``num_lines`` lines starting at ``first_line``.
+
+        Returns the cost in ns.  Models a hardware prefetcher: after the
+        first DRAM miss of a run, subsequent sequential misses stream in
+        at ``seq_line_ns`` per line.
+        """
+        if num_lines <= 0:
+            return 0.0
+        stats = self.stats
+        stats.scan_lines += num_lines
+        if num_lines > _EXACT_SCAN_LIMIT:
+            return self._scan_analytic(first_line, num_lines)
+
+        spec = self.spec
+        ns = 0.0
+        streaming = False
+        for line in range(first_line, first_line + num_lines):
+            stats.accesses += 1
+            if self.l1.lookup(line):
+                ns += spec.l1_ns
+                stats.l1_hits += 1
+                streaming = False
+            elif self.l2.lookup(line):
+                ns += spec.l2_ns
+                stats.l2_hits += 1
+                streaming = False
+                self.l1.fill(line)
+            elif self.l3.lookup(line):
+                ns += spec.l3_ns
+                stats.l3_hits += 1
+                streaming = False
+                self.l2.fill(line)
+                self.l1.fill(line)
+            else:
+                stats.dram_accesses += 1
+                ns += spec.seq_line_ns if streaming else spec.dram_ns
+                streaming = True
+                self.l3.fill(line)
+                self.l2.fill(line)
+                self.l1.fill(line)
+        stats.total_ns += ns
+        return ns
+
+    def _scan_analytic(self, first_line: int, num_lines: int) -> float:
+        """O(1) approximation for scans far larger than the caches.
+
+        A scan of this length evicts essentially the whole hierarchy, so
+        we flush the caches, refill them with the tail of the scanned
+        range, and charge one cold miss plus streaming for the rest.
+        """
+        spec = self.spec
+        stats = self.stats
+        stats.accesses += num_lines
+        stats.dram_accesses += num_lines
+        ns = spec.dram_ns + (num_lines - 1) * spec.seq_line_ns
+        last = first_line + num_lines
+        for level in (self.l3, self.l2, self.l1):
+            level.flush()
+            level.fill_many(range(max(first_line, last - level.capacity), last))
+        stats.total_ns += ns
+        return ns
+
+    def instructions(self, count: int) -> float:
+        """Charge ``count`` retired instructions; returns the cost in ns."""
+        ns = count * self.spec.instr_ns
+        self.stats.instructions += count
+        self.stats.total_ns += ns
+        return ns
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.stats = HierarchyStats()
+        for level in (self.l1, self.l2, self.l3):
+            level.reset_stats()
+
+    def flush_caches(self) -> None:
+        for level in (self.l1, self.l2, self.l3):
+            level.flush()

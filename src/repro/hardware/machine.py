@@ -1,0 +1,99 @@
+"""Machine specifications for the simulated memory hierarchy.
+
+The paper's evaluation machine is an Intel Core i7-6700 (Skylake) with
+32 KB L1, 256 KB L2 and 8 MB L3 caches, a 64-byte cache line, and a
+36 ns LLC-miss penalty measured with the Intel Memory Latency Checker
+(Section 4 of the paper).  :class:`MachineSpec` captures those numbers
+plus the two knobs the simulator adds:
+
+* ``seq_line_ns`` — effective per-line cost of a hardware-prefetched
+  sequential scan (the reason linear local search is not ``lines * 36ns``),
+* ``instr_ns`` — cost of one retired instruction (3.4 GHz at IPC ~3).
+
+Experiments that run on fewer keys than the paper's 200M scale the cache
+capacities proportionally with :meth:`MachineSpec.scaled_for` so that the
+*fraction of the data that fits in each cache level* — the quantity the
+paper's argument rests on — is preserved (DESIGN.md, substitution S3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Number of keys used throughout the paper's evaluation (SOSD scale).
+PAPER_NUM_KEYS = 200_000_000
+
+#: Default byte width of one record's payload (SOSD uses 64-bit payloads).
+DEFAULT_PAYLOAD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of the simulated machine.
+
+    All sizes are in bytes, all latencies in nanoseconds.  The latencies
+    are *access* costs: an access served by a level costs that level's
+    latency (they are not cumulative).
+    """
+
+    line_size: int = 64
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 256 * 1024
+    l3_bytes: int = 8 * 1024 * 1024
+    l1_ns: float = 1.0
+    l2_ns: float = 4.0
+    l3_ns: float = 12.0
+    dram_ns: float = 36.0
+    seq_line_ns: float = 2.0
+    instr_ns: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        if not (self.l1_bytes <= self.l2_bytes <= self.l3_bytes):
+            raise ValueError("cache sizes must be non-decreasing L1<=L2<=L3")
+        if min(self.l1_ns, self.l2_ns, self.l3_ns, self.dram_ns) <= 0:
+            raise ValueError("latencies must be positive")
+
+    @classmethod
+    def paper(cls) -> "MachineSpec":
+        """The i7-6700 configuration from Section 4 of the paper."""
+        return cls()
+
+    def scaled_for(self, num_keys: int, record_bytes: int = 12) -> "MachineSpec":
+        """Return a spec whose caches are scaled for a smaller dataset.
+
+        The paper runs 200M records; a run over ``num_keys`` records of
+        ``record_bytes`` each shrinks every cache level by the ratio of
+        dataset sizes (floored so each level still holds a handful of
+        lines).  Latencies are untouched: the *cost* of a miss does not
+        depend on dataset size, only the miss *rate* does.
+        """
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        paper_bytes = PAPER_NUM_KEYS * record_bytes
+        factor = (num_keys * record_bytes) / paper_bytes
+        if factor >= 1.0:
+            return self
+
+        def scale(size: int) -> int:
+            scaled = int(size * factor)
+            floor = 8 * self.line_size
+            return max(scaled - scaled % self.line_size, floor)
+
+        l1 = scale(self.l1_bytes)
+        l2 = max(scale(self.l2_bytes), l1)
+        l3 = max(scale(self.l3_bytes), l2)
+        return replace(self, l1_bytes=l1, l2_bytes=l2, l3_bytes=l3)
+
+    @property
+    def l1_lines(self) -> int:
+        return self.l1_bytes // self.line_size
+
+    @property
+    def l2_lines(self) -> int:
+        return self.l2_bytes // self.line_size
+
+    @property
+    def l3_lines(self) -> int:
+        return self.l3_bytes // self.line_size

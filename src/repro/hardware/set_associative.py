@@ -1,0 +1,97 @@
+"""Set-associative cache level (the realism upgrade over full LRU).
+
+The default hierarchy uses fully-associative LRU levels (DESIGN.md S1
+documents the simplification).  This module provides the set-associative
+variant of a real L1/L2/L3 — ``sets = capacity / (line * ways)``, LRU
+within each set — so the simplification can be *measured* instead of
+assumed: ablation A9 runs the same index on both cache models and
+compares the latencies.
+
+The class is drop-in compatible with
+:class:`~repro.hardware.cache.LRUCacheLevel` (same lookup/fill/flush
+interface), so :class:`~repro.hardware.hierarchy.MemoryHierarchy` can be
+built from either via :func:`build_hierarchy`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .hierarchy import MemoryHierarchy
+from .machine import MachineSpec
+
+
+class SetAssociativeCacheLevel:
+    """N-way set-associative cache with per-set LRU replacement."""
+
+    __slots__ = ("capacity", "ways", "num_sets", "latency_ns", "_sets",
+                 "hits", "misses")
+
+    def __init__(
+        self, capacity_lines: int, latency_ns: float, ways: int = 8
+    ) -> None:
+        if capacity_lines <= 0:
+            raise ValueError("capacity_lines must be positive")
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.capacity = capacity_lines
+        self.ways = min(ways, capacity_lines)
+        self.num_sets = max(capacity_lines // self.ways, 1)
+        self.latency_ns = latency_ns
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._sets[line % self.num_sets]
+
+    def lookup(self, line: int) -> bool:
+        cache_set = self._sets[line % self.num_sets]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line: int) -> None:
+        cache_set = self._sets[line % self.num_sets]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return
+        if len(cache_set) >= self.ways:
+            cache_set.popitem(last=False)
+        cache_set[line] = None
+
+    def fill_many(self, new_lines) -> None:
+        for line in new_lines:
+            self.fill(line)
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+def build_hierarchy(
+    spec: MachineSpec, set_associative: bool = False
+) -> MemoryHierarchy:
+    """A MemoryHierarchy with either cache model.
+
+    ``set_associative=True`` uses the i7-6700's organisation: 8-way L1,
+    8-way L2, 16-way L3.
+    """
+    hierarchy = MemoryHierarchy(spec)
+    if set_associative:
+        hierarchy.l1 = SetAssociativeCacheLevel(spec.l1_lines, spec.l1_ns, 8)
+        hierarchy.l2 = SetAssociativeCacheLevel(spec.l2_lines, spec.l2_ns, 8)
+        hierarchy.l3 = SetAssociativeCacheLevel(spec.l3_lines, spec.l3_ns, 16)
+    return hierarchy

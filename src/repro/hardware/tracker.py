@@ -1,0 +1,117 @@
+"""Access trackers: the bridge between index code and the simulator.
+
+Every index/search implementation in this repository is written against a
+tiny tracing protocol so the *same* code path serves both correctness
+tests (zero-cost :class:`NullTracker`) and simulated-latency measurement
+(:class:`SimTracker` charging a :class:`~repro.hardware.hierarchy.MemoryHierarchy`):
+
+* ``touch(region, i)``   — one random access to element ``i`` of a region,
+* ``scan(region, a, b)`` — sequential read of elements ``[a, b)``,
+* ``instr(n)``           — ``n`` retired instructions of pure compute.
+
+A :class:`Region` is a named slab of simulated address space.  Regions are
+handed out by :func:`alloc_region` with 64-byte alignment and a guard gap,
+so two regions never share a cache line.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from .hierarchy import MemoryHierarchy
+
+#: Guard gap between allocated regions (bytes); keeps regions line-disjoint.
+_REGION_GAP = 4096
+
+_alloc_lock = threading.Lock()
+_next_base = itertools.count(0)
+_base_cursor = [0]
+
+
+class Region:
+    """A contiguous array of fixed-size items in simulated memory."""
+
+    __slots__ = ("name", "base", "itemsize", "length")
+
+    def __init__(self, name: str, base: int, itemsize: int, length: int) -> None:
+        self.name = name
+        self.base = base
+        self.itemsize = itemsize
+        self.length = length
+
+    @property
+    def nbytes(self) -> int:
+        return self.itemsize * self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Region({self.name!r}, base={self.base:#x}, "
+            f"itemsize={self.itemsize}, length={self.length})"
+        )
+
+
+def alloc_region(name: str, itemsize: int, length: int) -> Region:
+    """Allocate a new line-aligned region of simulated address space."""
+    if itemsize <= 0:
+        raise ValueError("itemsize must be positive")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    nbytes = itemsize * max(length, 1)
+    with _alloc_lock:
+        base = _base_cursor[0]
+        _base_cursor[0] = base + nbytes + _REGION_GAP
+        _base_cursor[0] += (-_base_cursor[0]) % 64
+    return Region(name, base, itemsize, length)
+
+
+class NullTracker:
+    """No-op tracker used for correctness tests and batch lookups."""
+
+    __slots__ = ()
+
+    def touch(self, region: Region, index: int) -> None:
+        pass
+
+    def scan(self, region: Region, start: int, stop: int) -> None:
+        pass
+
+    def instr(self, count: int) -> None:
+        pass
+
+
+#: Shared no-op tracker instance (stateless, safe to share).
+NULL_TRACKER = NullTracker()
+
+
+class SimTracker:
+    """Tracker that charges every event to a simulated memory hierarchy."""
+
+    __slots__ = ("hierarchy", "_line_size")
+
+    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+        self.hierarchy = hierarchy
+        self._line_size = hierarchy.spec.line_size
+
+    def touch(self, region: Region, index: int) -> None:
+        line = (region.base + index * region.itemsize) // self._line_size
+        self.hierarchy.access(line)
+
+    def scan(self, region: Region, start: int, stop: int) -> None:
+        if stop <= start:
+            return
+        line_size = self._line_size
+        first = (region.base + start * region.itemsize) // line_size
+        last = (region.base + (stop - 1) * region.itemsize) // line_size
+        self.hierarchy.scan(first, last - first + 1)
+
+    def instr(self, count: int) -> None:
+        self.hierarchy.instructions(count)
+
+    # convenience passthroughs -----------------------------------------
+    @property
+    def stats(self):
+        return self.hierarchy.stats
+
+    def reset_stats(self) -> None:
+        self.hierarchy.reset_stats()

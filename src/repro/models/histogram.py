@@ -1,0 +1,79 @@
+"""Equi-depth histogram CDF model (the classic DB estimator as a model).
+
+Selectivity histograms are databases' oldest CDF approximation; as a
+learned-index model they sit between the paper's dummy IM (one global
+line) and a spline: ``B`` buckets holding every ``N/B``-th key, with
+linear interpolation inside a bucket.  Useful as a third "simple model"
+for the correction layer — it bounds the drift by the bucket depth by
+construction, which makes the §3.9 entry-width discussion concrete.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
+from .base import CDFModel
+
+_BOUNDARY_BYTES = 8
+
+
+class HistogramModel(CDFModel):
+    """Equi-depth histogram: B boundaries, binary-searched, interpolated."""
+
+    is_monotone = True
+
+    def __init__(self, data: np.ndarray, buckets: int = 1024) -> None:
+        super().__init__(len(data))
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1")
+        n = len(data)
+        self.buckets = int(min(buckets, n))
+        self.name = f"Hist[{self.buckets}]"
+        #: bucket b spans positions [b*depth, (b+1)*depth)
+        self.depth = n / self.buckets
+        idx = np.minimum(
+            (np.arange(self.buckets + 1) * self.depth).astype(np.int64), n - 1
+        )
+        self._bounds = data[idx].astype(np.float64)
+        self._region = alloc_region(
+            f"hist_{id(self):x}", _BOUNDARY_BYTES, self.buckets + 1
+        )
+
+    def predict_pos(
+        self, key: int | float, tracker: NullTracker = NULL_TRACKER
+    ) -> float:
+        k = float(key)
+        bounds = self._bounds
+        lo, hi = 0, self.buckets
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            tracker.touch(self._region, mid)
+            tracker.instr(5)
+            if bounds[mid + 1] < k:
+                lo = mid + 1
+            else:
+                hi = mid
+        b = min(lo, self.buckets - 1)  # k beyond the last bound clamps
+        tracker.touch(self._region, b)
+        tracker.instr(6)
+        x0, x1 = bounds[b], bounds[b + 1]
+        frac = (k - x0) / (x1 - x0) if x1 > x0 else 0.0
+        frac = min(max(frac, 0.0), 1.0)
+        return (b + frac) * self.depth
+
+    def predict_pos_batch(self, keys: np.ndarray) -> np.ndarray:
+        k = keys.astype(np.float64)
+        bounds = self._bounds
+        # bucket of k: first b with bounds[b+1] >= k
+        b = np.searchsorted(bounds[1:], k, side="left")
+        b = np.clip(b, 0, self.buckets - 1)
+        x0 = bounds[b]
+        x1 = bounds[b + 1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(x1 > x0, (k - x0) / (x1 - x0), 0.0)
+        frac = np.clip(frac, 0.0, 1.0)
+        return (b + frac) * self.depth
+
+    def size_bytes(self) -> int:
+        return (self.buckets + 1) * _BOUNDARY_BYTES

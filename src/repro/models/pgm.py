@@ -1,0 +1,236 @@
+"""PGM-style multi-level ε-bounded piecewise-linear model (extension).
+
+The PGM-index (Ferragina & Vinciguerra, VLDB 2020) appears in the paper's
+related work as the spline-based state of the art.  We build it as an
+extension baseline: every level is an ε-bounded piecewise linear
+approximation (PLA) of "key → position in the level below", so a lookup
+descends from a small root to the leaf segment and ends with a guaranteed
+``±ε`` window over the data — the same contract RadixSpline offers, with
+recursively indexed segments instead of a radix table.
+
+Segments are found with the *shrinking-cone* algorithm: keep the
+intersection of the slope cones ``[(Δy−ε)/Δx, (Δy+ε)/Δx]`` anchored at the
+segment's first point; when the cone empties, close the segment and
+restart.  This is the classic streaming PLA; it guarantees the ±ε bound
+and produces at most ~2x the segments of PGM's optimal PLA (documented
+approximation — the query semantics are identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
+from .base import CDFModel
+
+#: Bytes per segment entry: first-key f8 + slope f8 + intercept f8.
+_SEGMENT_BYTES = 24
+
+_CHUNK = 4096
+
+
+def shrinking_cone_segments(
+    xs: np.ndarray, ys: np.ndarray, epsilon: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """ε-bounded PLA over strictly-increasing ``xs``.
+
+    Returns ``(starts, slopes)``: segment ``j`` starts at index
+    ``starts[j]`` and predicts ``ys[starts[j]] + slope_j * (x - xs[starts[j]])``
+    with error at most ``ε`` for every training point it covers.
+    """
+    n = len(xs)
+    starts = [0]
+    slopes: list[float] = []
+    anchor = 0
+    x0, y0 = xs[0], ys[0]
+    hi_bound, lo_bound = np.inf, -np.inf
+    i = 1
+    # adaptive lookahead (see radix_spline._greedy_spline): short segments
+    # only scan small windows, long segments grow towards the full chunk
+    lookahead = 64
+    while i < n:
+        j_hi = min(i + lookahead, n)
+        dx = xs[i:j_hi] - x0
+        dy = ys[i:j_hi] - y0
+        # dx can round to 0 for distinct 64-bit keys closer than one
+        # float64 ulp; treat those like duplicates (cone unconstrained
+        # unless the vertical drift alone exceeds ε)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            up = np.where(dx > 0, (dy + epsilon) / dx, np.inf)
+            lo = np.where(dx > 0, (dy - epsilon) / dx, -np.inf)
+        run_up = np.minimum.accumulate(np.minimum(up, hi_bound))
+        run_lo = np.maximum.accumulate(np.maximum(lo, lo_bound))
+        bad = (run_up < run_lo) | ((dx == 0) & (np.abs(dy) > epsilon))
+        if bad.any():
+            j = i + int(np.argmax(bad))
+            # close the current segment with the midpoint of the last
+            # non-empty cone
+            if j == i:
+                final_up, final_lo = hi_bound, lo_bound
+            else:
+                k = j - i - 1
+                final_up, final_lo = float(run_up[k]), float(run_lo[k])
+            slopes.append(_cone_midpoint(final_lo, final_up))
+            anchor = j
+            starts.append(anchor)
+            x0, y0 = xs[anchor], ys[anchor]
+            hi_bound, lo_bound = np.inf, -np.inf
+            i = anchor + 1
+            lookahead = 64
+        else:
+            hi_bound = float(run_up[-1])
+            lo_bound = float(run_lo[-1])
+            i = j_hi
+            lookahead = min(lookahead * 4, _CHUNK)
+    slopes.append(_cone_midpoint(lo_bound, hi_bound))
+    return np.asarray(starts, dtype=np.int64), np.asarray(slopes, dtype=np.float64)
+
+
+def _cone_midpoint(lo: float, hi: float) -> float:
+    if np.isinf(lo) and np.isinf(hi):
+        return 0.0
+    if np.isinf(hi):
+        return max(lo, 0.0)
+    if np.isinf(lo):
+        return max(hi, 0.0)
+    return (lo + hi) / 2.0
+
+
+class _Level:
+    """One PLA level: maps keys to positions in the level below."""
+
+    __slots__ = ("first_keys", "slopes", "y0", "region")
+
+    def __init__(
+        self, xs: np.ndarray, ys: np.ndarray, epsilon: float, tag: str
+    ) -> None:
+        starts, slopes = shrinking_cone_segments(xs, ys, epsilon)
+        self.first_keys = xs[starts]
+        self.slopes = slopes
+        self.y0 = ys[starts]
+        self.region = alloc_region(tag, _SEGMENT_BYTES, len(starts))
+
+    def __len__(self) -> int:
+        return len(self.first_keys)
+
+    def predict(self, seg: int, key: float) -> float:
+        return self.y0[seg] + self.slopes[seg] * (key - self.first_keys[seg])
+
+    def predict_batch(self, seg: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        return self.y0[seg] + self.slopes[seg] * (keys - self.first_keys[seg])
+
+    def segment_of_batch(self, keys: np.ndarray) -> np.ndarray:
+        seg = np.searchsorted(self.first_keys, keys, side="right") - 1
+        return np.clip(seg, 0, len(self.first_keys) - 1)
+
+
+class PGMModel(CDFModel):
+    """Multi-level ε-bounded PLA index over the key CDF.
+
+    ``is_monotone`` is conservatively False: cone-midpoint slopes are not
+    clamped, so predictions can dip across segment boundaries.  Consumers
+    that require a valid CDF (§3.8) therefore validate windows at query
+    time when pairing PGM with a Shift-Table layer.
+    """
+
+    is_monotone = False
+
+    def __init__(
+        self, data: np.ndarray, epsilon: int = 64, epsilon_internal: int = 4
+    ) -> None:
+        super().__init__(len(data))
+        if epsilon < 1 or epsilon_internal < 1:
+            raise ValueError("epsilons must be >= 1")
+        self.name = f"PGM[eps={epsilon}]"
+        self.epsilon = int(epsilon)
+        self.epsilon_internal = int(epsilon_internal)
+
+        unique_keys, first_idx = np.unique(data, return_index=True)
+        xs = unique_keys.astype(np.float64)
+        ys = first_idx.astype(np.float64)
+        tag = f"pgm_{id(self):x}"
+        levels = [_Level(xs, ys, float(epsilon), f"{tag}_L0")]
+        while len(levels[-1]) > 2 * self.epsilon_internal + 2:
+            below = levels[-1]
+            levels.append(
+                _Level(
+                    below.first_keys,
+                    np.arange(len(below), dtype=np.float64),
+                    float(epsilon_internal),
+                    f"{tag}_L{len(levels)}",
+                )
+            )
+        #: levels[0] is the leaf level (predicts data positions);
+        #: levels[-1] is the root (small enough to scan)
+        self.levels = levels
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _segment_scalar(
+        self, level: _Level, key: float, lo: int, hi: int, tracker: NullTracker
+    ) -> int:
+        """Last segment in [lo, hi) whose first key is <= key."""
+        hi = min(hi, len(level))
+        lo = min(max(lo, 0), hi)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            tracker.touch(level.region, mid)
+            tracker.instr(5)
+            if level.first_keys[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return max(lo - 1, 0)
+
+    def _segment_verified(
+        self, level: _Level, key: float, lo: int, hi: int, tracker: NullTracker
+    ) -> int:
+        """Windowed segment search with a full-level correctness fallback.
+
+        The internal ±ε guarantee holds at training keys; an arbitrary
+        query between training keys can predict slightly outside the
+        window, so the result is verified and the (rare) violation falls
+        back to a binary search over the whole level, with its cost
+        charged honestly.
+        """
+        seg = self._segment_scalar(level, key, lo, hi, tracker)
+        n = len(level)
+        ok_left = level.first_keys[seg] <= key or seg == 0
+        ok_right = seg == n - 1 or level.first_keys[seg + 1] > key
+        if ok_left and ok_right:
+            return seg
+        return self._segment_scalar(level, key, 0, n, tracker)
+
+    def predict_pos(
+        self, key: int | float, tracker: NullTracker = NULL_TRACKER
+    ) -> float:
+        k = float(key)
+        root = self.levels[-1]
+        seg = self._segment_scalar(root, k, 0, len(root), tracker)
+        eps = self.epsilon_internal
+        for level_idx in range(len(self.levels) - 1, 0, -1):
+            level = self.levels[level_idx]
+            below = self.levels[level_idx - 1]
+            pred = level.predict(seg, k)
+            lo = int(pred) - 3 * eps - 2
+            hi = int(pred) + eps + 2
+            tracker.instr(6)
+            seg = self._segment_verified(below, k, lo, hi, tracker)
+        leaf = self.levels[0]
+        tracker.touch(leaf.region, seg)
+        tracker.instr(6)
+        return float(leaf.predict(seg, k))
+
+    def predict_pos_batch(self, keys: np.ndarray) -> np.ndarray:
+        k = keys.astype(np.float64)
+        leaf = self.levels[0]
+        seg = leaf.segment_of_batch(k)
+        return leaf.predict_batch(seg, k)
+
+    def error_bounds(self) -> tuple[int, int]:
+        """Guaranteed signed error window over data positions."""
+        return -self.epsilon, self.epsilon
+
+    def size_bytes(self) -> int:
+        return sum(len(level) * _SEGMENT_BYTES for level in self.levels)

@@ -1,0 +1,52 @@
+"""Binary search (``std::lower_bound`` equivalent) with access tracing.
+
+This is both the paper's ``BS`` baseline (binary search over the whole
+record array) and the bounded local-search routine used inside learned
+indexes when the correction layer provides a guaranteed window
+(Algorithm 1, line 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, Region
+
+#: Instructions charged per binary-search iteration (compare + branch +
+#: midpoint arithmetic), matching a tight ``std::lower_bound`` loop.
+INSTR_PER_ITERATION = 5
+
+
+def lower_bound(
+    data: np.ndarray,
+    region: Region,
+    tracker: NullTracker = NULL_TRACKER,
+    q: int | float = 0,
+    lo: int = 0,
+    hi: int | None = None,
+) -> int:
+    """First index in ``[lo, hi)`` with ``data[idx] >= q``, else ``hi``.
+
+    ``data`` must be sorted ascending.  Every probed element is charged to
+    ``tracker`` as one touch of ``region``.
+    """
+    if hi is None:
+        hi = len(data)
+    if lo < 0 or hi > len(data) or lo > hi:
+        raise ValueError(f"invalid range [{lo}, {hi}) for array of {len(data)}")
+    touch = tracker.touch
+    instr = tracker.instr
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        touch(region, mid)
+        instr(INSTR_PER_ITERATION)
+        if data[mid] < q:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def lower_bound_batch(data: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Vectorised lower bound for a batch of queries (no tracing)."""
+    return np.searchsorted(data, queries, side="left")

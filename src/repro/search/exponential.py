@@ -1,0 +1,65 @@
+"""Exponential (galloping) search with access tracing.
+
+The paper's unbounded local-search method (Figure 1a): starting from a
+predicted position, probe at exponentially growing distances until the
+answer is bracketed, then finish with a bounded binary search.  Used when
+the model (or the compressed S-mode layer) predicts a point but no
+guaranteed window (§3.8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, Region
+from .binary import lower_bound
+
+#: Instructions charged per galloping probe.
+INSTR_PER_PROBE = 4
+
+
+def exponential_lower_bound(
+    data: np.ndarray,
+    region: Region,
+    tracker: NullTracker = NULL_TRACKER,
+    q: int | float = 0,
+    start: int = 0,
+) -> int:
+    """Global lower bound of ``q``, galloping outwards from ``start``."""
+    n = len(data)
+    pos = min(max(start, 0), n - 1) if n else 0
+    if n == 0:
+        return 0
+    tracker.touch(region, pos)
+    tracker.instr(INSTR_PER_PROBE)
+    if data[pos] < q:
+        # gallop right: bracket (pos, pos + step]
+        step = 1
+        lo = pos + 1
+        hi = pos + step
+        while hi < n and data[hi] < q:
+            tracker.touch(region, hi)
+            tracker.instr(INSTR_PER_PROBE)
+            lo = hi + 1
+            step <<= 1
+            hi = pos + step
+        if hi < n:
+            tracker.touch(region, hi)
+            tracker.instr(INSTR_PER_PROBE)
+        hi = min(hi, n)
+        return lower_bound(data, region, tracker, q, lo, hi)
+    # gallop left: bracket [pos - step, pos)
+    step = 1
+    hi = pos
+    lo = pos - step
+    while lo > 0 and data[lo] >= q:
+        tracker.touch(region, lo)
+        tracker.instr(INSTR_PER_PROBE)
+        hi = lo
+        step <<= 1
+        lo = pos - step
+    if lo > 0:
+        tracker.touch(region, lo)
+        tracker.instr(INSTR_PER_PROBE)
+    lo = max(lo, 0)
+    return lower_bound(data, region, tracker, q, lo, hi)

@@ -1,0 +1,78 @@
+"""Linear (sequential) search with access tracing.
+
+Two flavours are needed by the paper:
+
+* :func:`linear_lower_bound` — forward scan over a bounded window, the
+  cheap branch of Algorithm 1 (window smaller than the linear→binary
+  threshold).  Sequential touches go through ``tracker.scan`` so the
+  simulated prefetcher applies.
+* :func:`linear_around` — unbounded bidirectional scan from a predicted
+  position, the "linear search" of Figure 1a used when the correction
+  layer only provides a midpoint (compressed S-mode, §3.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, Region
+
+#: Instructions charged per scanned record (compare + increment).
+INSTR_PER_RECORD = 2
+
+
+def linear_lower_bound(
+    data: np.ndarray,
+    region: Region,
+    tracker: NullTracker = NULL_TRACKER,
+    q: int | float = 0,
+    lo: int = 0,
+    hi: int | None = None,
+) -> int:
+    """Forward scan: first index in ``[lo, hi)`` with ``data[idx] >= q``."""
+    if hi is None:
+        hi = len(data)
+    if lo < 0 or hi > len(data) or lo > hi:
+        raise ValueError(f"invalid range [{lo}, {hi}) for array of {len(data)}")
+    pos = lo
+    while pos < hi and data[pos] < q:
+        pos += 1
+    scanned = max(pos - lo, 0) + (1 if pos < hi else 0)
+    if scanned:
+        tracker.scan(region, lo, lo + scanned)
+        tracker.instr(scanned * INSTR_PER_RECORD)
+    return pos
+
+
+def linear_around(
+    data: np.ndarray,
+    region: Region,
+    tracker: NullTracker = NULL_TRACKER,
+    q: int | float = 0,
+    start: int = 0,
+) -> int:
+    """Bidirectional scan from ``start``; returns the global lower bound.
+
+    Walks left while the element before the cursor is ``>= q``, otherwise
+    walks right while the element at the cursor is ``< q``.
+    """
+    n = len(data)
+    pos = min(max(start, 0), n)
+    if pos < n and data[pos] < q:
+        # answer is to the right
+        first = pos
+        while pos < n and data[pos] < q:
+            pos += 1
+        scanned = pos - first + (1 if pos < n else 0)
+        tracker.scan(region, first, first + scanned)
+        tracker.instr(scanned * INSTR_PER_RECORD)
+        return pos
+    # answer is here or to the left
+    first = pos
+    while pos > 0 and data[pos - 1] >= q:
+        pos -= 1
+    scanned = first - pos + 1
+    lo_touch = max(pos - 1, 0)
+    tracker.scan(region, lo_touch, lo_touch + scanned)
+    tracker.instr(scanned * INSTR_PER_RECORD)
+    return pos

@@ -1,0 +1,68 @@
+"""Local ("last-mile") search policies (Algorithm 1 and §3.8).
+
+After a learned model (optionally corrected by a Shift-Table layer)
+predicts where a query lives, one of two situations holds:
+
+* **Bounded**: an R-mode layer provides a guaranteed window
+  ``[start, start+width]`` — Algorithm 1 then uses linear search for
+  windows below a threshold (8 keys in the paper's experiments) and
+  branch-optimised binary search above it.
+* **Unbounded**: the bare model or a compressed S-mode layer provides only
+  a point estimate — linear or exponential search from that point, chosen
+  by the expected error (§3.8 last paragraph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, Region
+from .binary import lower_bound
+from .exponential import exponential_lower_bound
+from .linear import linear_around, linear_lower_bound
+
+#: The paper's linear-to-binary threshold (§3.8: "8 keys, in our experiments").
+LINEAR_TO_BINARY_THRESHOLD = 8
+
+#: Expected error below which unbounded search prefers plain linear scan.
+LINEAR_AROUND_THRESHOLD = 8
+
+
+def bounded_local_search(
+    data: np.ndarray,
+    region: Region,
+    tracker: NullTracker = NULL_TRACKER,
+    q: int | float = 0,
+    start: int = 0,
+    width: int = 0,
+    threshold: int = LINEAR_TO_BINARY_THRESHOLD,
+) -> int:
+    """Lower bound of ``q`` given a guaranteed window ``[start, start+width]``.
+
+    Candidate results are ``start .. start+width+1`` — the one-past-window
+    slot covers non-indexed queries that fall "just after the range"
+    (§3.1).  The window is clipped to the array; a window that starts past
+    the end means the answer is ``len(data)``.
+    """
+    n = len(data)
+    lo = min(max(start, 0), n)
+    hi = min(start + width + 1, n)
+    if lo >= hi:
+        return lo
+    if width < threshold:
+        return linear_lower_bound(data, region, tracker, q, lo, hi)
+    return lower_bound(data, region, tracker, q, lo, hi)
+
+
+def unbounded_local_search(
+    data: np.ndarray,
+    region: Region,
+    tracker: NullTracker = NULL_TRACKER,
+    q: int | float = 0,
+    start: int = 0,
+    expected_error: float = float("inf"),
+) -> int:
+    """Lower bound of ``q`` from a point estimate with no guaranteed window."""
+    if expected_error <= LINEAR_AROUND_THRESHOLD:
+        return linear_around(data, region, tracker, q, start)
+    return exponential_lower_bound(data, region, tracker, q, start)

@@ -1,0 +1,128 @@
+"""Three-point interpolation search (the paper's ``TIP`` baseline).
+
+Van Sandt, Chronis and Patel ("Efficiently Searching In-Memory Sorted
+Arrays: Revenge of the Interpolation Search?", SIGMOD 2019) observe that
+linear interpolation fails on curved CDFs and propose probing with a
+*three-point* interpolation instead: fit the hyperbola
+
+    key(p) = alpha + beta / (p + gamma)
+
+through three known (position, key) points and invert it at the query key.
+The hyperbola has one more degree of freedom than a straight line, so it
+tracks convex/concave CDF regions far better, while degenerating to linear
+interpolation when the three points are collinear.
+
+This implementation maintains a shrinking bracket with the probe as the
+middle point, guards every division, and falls back to binary search when
+the geometry degenerates or a probe budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.tracker import NULL_TRACKER, NullTracker, Region
+from .binary import lower_bound
+
+#: Instructions charged per three-point probe (several FP divisions).
+INSTR_PER_PROBE = 25
+
+#: Bracket size below which we finish with binary search.
+_FINISH_THRESHOLD = 16
+
+DEFAULT_MAX_PROBES = 64
+
+
+def _three_point_probe(
+    p0: int, k0: float, p1: int, k1: float, p2: int, k2: float, q: float
+) -> int | None:
+    """Invert the hyperbola through three (pos, key) points at ``q``.
+
+    Returns the estimated position, or None when the configuration is
+    degenerate (collinear points handled by the caller's linear fallback).
+    """
+    d01 = k0 - k1
+    d12 = k1 - k2
+    if d12 == 0.0 or d01 == 0.0:
+        return None
+    r = d01 / d12
+    denom = r * (p2 - p1) - (p1 - p0)
+    if denom == 0.0:
+        return None
+    gamma = ((p1 - p0) * p2 - r * (p2 - p1) * p0) / denom
+    g0 = p0 + gamma
+    g1 = p1 + gamma
+    if g0 == 0.0 or g1 == 0.0:
+        return None
+    beta = d01 * g0 * g1 / (p1 - p0)
+    alpha = k0 - beta / g0
+    if q == alpha:
+        return None
+    est = beta / (q - alpha) - gamma
+    if not np.isfinite(est):
+        return None
+    return int(est)
+
+
+def tip_lower_bound(
+    data: np.ndarray,
+    region: Region,
+    tracker: NullTracker = NULL_TRACKER,
+    q: int | float = 0,
+    max_probes: int = DEFAULT_MAX_PROBES,
+) -> int:
+    """Global lower bound of ``q`` via three-point interpolation search."""
+    n = len(data)
+    if n == 0:
+        return 0
+    lo, hi = 0, n - 1
+    tracker.touch(region, lo)
+    tracker.touch(region, hi)
+    tracker.instr(INSTR_PER_PROBE)
+    lo_val = float(data[lo])
+    hi_val = float(data[hi])
+    if q <= lo_val:
+        return 0
+    if q > hi_val:
+        return n
+    # middle sample completes the initial three points
+    mid = (lo + hi) >> 1
+    tracker.touch(region, mid)
+    tracker.instr(INSTR_PER_PROBE)
+    mid_val = float(data[mid])
+    qf = float(q)
+    probes = 0
+    while hi - lo > _FINISH_THRESHOLD and probes < max_probes:
+        est = _three_point_probe(lo, lo_val, mid, mid_val, hi, hi_val, qf)
+        if est is None:
+            # degenerate: linear interpolation between the bracket ends
+            span = hi_val - lo_val
+            if span <= 0:
+                break
+            est = lo + int((qf - lo_val) / span * (hi - lo))
+        est = min(max(est, lo + 1), hi - 1)
+        if est == mid:
+            # no progress from interpolation: bisect the larger half
+            est = (lo + mid) >> 1 if (mid - lo) > (hi - mid) else (mid + hi) >> 1
+            est = min(max(est, lo + 1), hi - 1)
+            if est == mid:
+                break
+        tracker.touch(region, est)
+        tracker.instr(INSTR_PER_PROBE)
+        probes += 1
+        est_val = float(data[est])
+        if data[est] < q:
+            lo, lo_val = est, est_val
+        else:
+            hi, hi_val = est, est_val
+        # keep the retired probe as the middle point if it is inside
+        if not (lo < mid < hi):
+            mid = (lo + hi) >> 1
+            if lo < mid < hi:
+                tracker.touch(region, mid)
+                tracker.instr(INSTR_PER_PROBE)
+                mid_val = float(data[mid])
+        else:
+            mid_val = float(data[mid])
+    # invariant: data[lo] < q <= data[hi]
+    return lower_bound(data, region, tracker, q, lo + 1, hi + 1)

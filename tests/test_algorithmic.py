@@ -1,0 +1,212 @@
+"""ART, FAST, RBS and B+tree: correctness against searchsorted, the
+paper's N/A restrictions, and structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithmic import (
+    ART,
+    BPlusTree,
+    DuplicateKeyError,
+    FASTree,
+    KeyWidthError,
+    RadixBinarySearch,
+)
+from repro.core.records import SortedData
+from repro.datasets import load
+
+from conftest import queries_for, sorted_uint_arrays
+
+N = 20_000
+
+
+def check_index(index, data, seed=0, count=300):
+    rng = np.random.default_rng(seed)
+    keys = data.keys
+    lo, hi = int(keys.min()), int(keys.max())
+    dom = (lo + (rng.random(count) * max(hi - lo, 1)).astype(np.uint64)).astype(
+        keys.dtype
+    )
+    queries = np.concatenate(
+        [rng.choice(keys, count), dom,
+         np.asarray([lo, hi, hi + 1, max(lo - 1, 0)], dtype=keys.dtype)]
+    )
+    truth = data.lower_bound_batch(queries)
+    got = np.asarray([index.lookup(q) for q in queries])
+    assert np.array_equal(got, truth)
+
+
+# ----------------------------------------------------------------------
+# B+tree
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dataset", ["face64", "wiki64", "logn32", "uden32"])
+@pytest.mark.parametrize("fanout", [4, 16, 64])
+def test_btree_correct(dataset, fanout):
+    data = SortedData(load(dataset, N, seed=31), name=dataset)
+    check_index(BPlusTree(data, fanout=fanout), data)
+
+
+def test_btree_duplicate_run_straddles_nodes():
+    """A duplicate run crossing a leaf boundary must resolve to its start."""
+    keys = np.asarray([1, 2, 3, 7, 7, 7, 7, 7, 7, 9, 10, 11], dtype=np.uint64)
+    data = SortedData(keys)
+    tree = BPlusTree(data, fanout=4)
+    assert tree.lookup(7) == 3
+
+
+def test_btree_height_shrinks_with_fanout():
+    data = SortedData(load("uden64", N, seed=31))
+    assert BPlusTree(data, fanout=64).height < BPlusTree(data, fanout=4).height
+
+
+def test_btree_rejects_tiny_fanout():
+    data = SortedData(load("uden64", 100, seed=31))
+    with pytest.raises(ValueError):
+        BPlusTree(data, fanout=1)
+
+
+def test_btree_size_bytes():
+    data = SortedData(load("uden64", N, seed=31))
+    tree = BPlusTree(data, fanout=16)
+    assert 0 < tree.size_bytes() < data.size_bytes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=1, max_size=300), seed=st.integers(0, 99))
+def test_property_btree(keys, seed):
+    data = SortedData(keys)
+    tree = BPlusTree(data, fanout=4)
+    for q in queries_for(keys, seed, count=10):
+        assert tree.lookup(q) == int(np.searchsorted(keys, q, side="left"))
+
+
+# ----------------------------------------------------------------------
+# ART
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dataset", ["face64", "face32", "uden32", "norm64"])
+def test_art_correct(dataset):
+    data = SortedData(load(dataset, N, seed=31), name=dataset)
+    check_index(ART(data), data)
+
+
+def test_art_rejects_duplicates():
+    keys = np.asarray([1, 2, 2, 3], dtype=np.uint64)
+    with pytest.raises(DuplicateKeyError):
+        ART(SortedData(keys))
+
+
+@pytest.mark.parametrize("dataset", ["wiki64", "logn32", "osmc64", "amzn64"])
+def test_art_rejects_table2_na_datasets(dataset):
+    data = SortedData(load(dataset, N, seed=31), name=dataset)
+    with pytest.raises(DuplicateKeyError):
+        ART(data)
+
+
+def test_art_adaptive_node_accounting():
+    data = SortedData(load("face32", N, seed=31))
+    art = ART(data)
+    assert art.node_count > 0
+    assert art.size_bytes() > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=1, max_size=300, allow_duplicates=False),
+    seed=st.integers(0, 99),
+)
+def test_property_art(keys, seed):
+    data = SortedData(keys)
+    art = ART(data)
+    for q in queries_for(keys, seed, count=10):
+        assert art.lookup(q) == int(np.searchsorted(keys, q, side="left"))
+
+
+# ----------------------------------------------------------------------
+# FAST
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dataset", ["face32", "uden32", "logn32", "uspr32"])
+def test_fast_correct(dataset):
+    data = SortedData(load(dataset, N, seed=31), name=dataset)
+    check_index(FASTree(data), data)
+
+
+def test_fast_rejects_64bit():
+    data = SortedData(load("face64", 1000, seed=31))
+    with pytest.raises(KeyWidthError):
+        FASTree(data)
+
+
+def test_fast_size_is_cacheline_nodes():
+    data = SortedData(load("uden32", N, seed=31))
+    tree = FASTree(data)
+    assert tree.size_bytes() % 64 == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=1, max_size=300, max_value=(1 << 32) - 1),
+    seed=st.integers(0, 99),
+)
+def test_property_fast(keys, seed):
+    keys32 = keys.astype(np.uint32)
+    data = SortedData(keys32)
+    tree = FASTree(data)
+    for q in queries_for(keys32, seed, count=10):
+        assert tree.lookup(q) == int(np.searchsorted(keys32, q, side="left"))
+
+
+# ----------------------------------------------------------------------
+# RBS
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dataset", ["face64", "wiki64", "logn32", "uspr32"])
+@pytest.mark.parametrize("bits", [8, 14])
+def test_rbs_correct(dataset, bits):
+    data = SortedData(load(dataset, N, seed=31), name=dataset)
+    check_index(RadixBinarySearch(data, radix_bits=bits), data)
+
+
+def test_rbs_bigger_table_smaller_buckets():
+    data = SortedData(load("face64", N, seed=31))
+    small = RadixBinarySearch(data, radix_bits=8)
+    big = RadixBinarySearch(data, radix_bits=16)
+    assert big.size_bytes() > small.size_bytes()
+
+
+def test_rbs_rejects_bad_bits():
+    data = SortedData(load("face64", 100, seed=31))
+    with pytest.raises(ValueError):
+        RadixBinarySearch(data, radix_bits=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=1, max_size=300), seed=st.integers(0, 99))
+def test_property_rbs(keys, seed):
+    data = SortedData(keys)
+    rbs = RadixBinarySearch(data, radix_bits=8)
+    for q in queries_for(keys, seed, count=10):
+        assert rbs.lookup(q) == int(np.searchsorted(keys, q, side="left"))
+
+
+# ----------------------------------------------------------------------
+# SortedData
+# ----------------------------------------------------------------------
+def test_sorted_data_validation():
+    with pytest.raises(ValueError):
+        SortedData(np.asarray([3, 1, 2], dtype=np.uint64))
+    with pytest.raises(ValueError):
+        SortedData(np.zeros((2, 2), dtype=np.uint64))
+
+
+def test_sorted_data_record_stride():
+    data = SortedData(np.arange(10, dtype=np.uint32), payload_bytes=8)
+    assert data.record_bytes == 12
+    assert data.key_bits == 32
+    assert data.size_bytes() == 120
+
+
+def test_sorted_data_duplicate_detection():
+    assert SortedData(np.asarray([1, 1, 2], dtype=np.uint64)).has_duplicates()
+    assert not SortedData(np.asarray([1, 2], dtype=np.uint64)).has_duplicates()
+    assert not SortedData(np.asarray([], dtype=np.uint64)).has_duplicates()

@@ -1,0 +1,88 @@
+"""Layer analysis reports (§3.6/§3.7 introspection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyze import (
+    CONGESTION_THRESHOLD,
+    analyze_layer,
+    format_report,
+)
+from repro.core.compact import CompactShiftTable
+from repro.core.cost_model import LatencyCurve, measure_latency_curve
+from repro.core.shift_table import ShiftTable
+from repro.datasets import load
+from repro.hardware.machine import MachineSpec
+from repro.models import InterpolationModel
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def osmc_layer():
+    keys = load("osmc64", N, seed=91)
+    return ShiftTable.build(keys, InterpolationModel(keys))
+
+
+@pytest.fixture(scope="module")
+def uden_layer():
+    keys = load("uden64", N, seed=91)
+    return ShiftTable.build(keys, InterpolationModel(keys))
+
+
+def test_report_basic_fields(osmc_layer):
+    report = analyze_layer(osmc_layer)
+    assert report.num_partitions == N
+    assert report.num_keys == N
+    assert 0 < report.occupied_fraction <= 1
+    assert report.max_count >= report.p99_count >= report.median_count
+    assert report.size_bytes == osmc_layer.size_bytes()
+
+
+def test_congestion_share_contrast(osmc_layer, uden_layer):
+    congested = analyze_layer(osmc_layer)
+    smooth = analyze_layer(uden_layer)
+    assert congested.congested_key_share > smooth.congested_key_share
+    assert smooth.congested_key_share == 0.0
+
+
+def test_recommendation_matches_41_rule(osmc_layer, uden_layer):
+    assert analyze_layer(osmc_layer).recommend_enable is True
+    assert analyze_layer(uden_layer).recommend_enable is False
+
+
+def test_report_with_latency_curve(osmc_layer):
+    keys = load("osmc64", N, seed=91)
+    machine = MachineSpec.paper().scaled_for(N, 16)
+    curve = measure_latency_curve(
+        keys, machine, sizes=(1, 16, 256, 4096), queries_per_size=24
+    )
+    report = analyze_layer(osmc_layer, curve=curve)
+    assert report.predicted_ns_with is not None
+    assert report.predicted_ns_with < report.predicted_ns_without
+    assert report.recommend_enable is True
+
+
+def test_s_mode_report_has_no_recommendation():
+    keys = load("wiki64", N, seed=91)
+    layer = CompactShiftTable.build(keys, InterpolationModel(keys))
+    report = analyze_layer(layer)
+    assert report.recommend_enable is None
+    assert report.error_before is None
+    assert report.expected_error_eq8 > 0
+
+
+def test_format_report_renders(osmc_layer):
+    text = format_report(analyze_layer(osmc_layer))
+    assert "partitions:" in text
+    assert "eq. 8" in text
+    assert "ENABLE" in text
+    assert str(CONGESTION_THRESHOLD) in text
+
+
+def test_format_report_without_optional_sections():
+    keys = load("wiki64", N, seed=91)
+    layer = CompactShiftTable.build(keys, InterpolationModel(keys))
+    text = format_report(analyze_layer(layer))
+    assert "recommendation" not in text
+    assert "predicted latency" not in text

@@ -1,0 +1,146 @@
+"""S-mode (compressed) Shift-Table: eq. 7 semantics, compression modes,
+sample-based builds, and the paper's Table 1 worked example."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact import CompactShiftTable
+from repro.core.shift_table import ShiftTable
+from repro.datasets import load
+from repro.models import FunctionModel, InterpolationModel
+
+from conftest import sorted_uint_arrays
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return load("osmc64", N, seed=9)
+
+
+def test_default_m_equals_n(keys):
+    layer = CompactShiftTable.build(keys, InterpolationModel(keys))
+    assert layer.num_partitions == N
+
+
+def test_mean_drift_truncates_toward_zero():
+    """Eq. (7)'s [·] truncates: Table 1 turns a mean of -40.6 into -40."""
+    keys = np.asarray([10, 11, 12], dtype=np.uint64)
+    # a model predicting every key at slot 2 -> drifts -2, -1, 0, mean -1.0
+    model = FunctionModel(lambda x: 2.0, 3)
+    layer = CompactShiftTable.build(keys, model)
+    assert int(layer.drifts[2]) == -1
+    # and with drifts -2,-1 (mean -1.5) truncation gives -1, not -2
+    model2 = FunctionModel(lambda x: 2.0 if x < 12 else 2.9, 3)
+    layer2 = CompactShiftTable.build(keys, model2)
+    assert int(layer2.drifts[2]) == -1
+
+
+def test_correction_reduces_error(keys):
+    model = InterpolationModel(keys)
+    layer = CompactShiftTable.build(keys, model)
+    pred = model.predict_pos_batch(keys)
+    raw = np.clip(pred.astype(np.int64), 0, N - 1)
+    truth = np.searchsorted(keys, keys, side="left")
+    before = np.abs(truth - raw).mean()
+    after = np.abs(truth - layer.correct_batch(pred)).mean()
+    assert after < before / 10
+
+
+def test_correct_scalar_matches_batch(keys):
+    model = InterpolationModel(keys)
+    layer = CompactShiftTable.build(keys, model)
+    sample = keys[:: N // 300]
+    pred = model.predict_pos_batch(sample)
+    batch = layer.correct_batch(pred)
+    scalar = [layer.correct(model.predict_pos(k)) for k in sample]
+    assert list(batch) == scalar
+
+
+def test_correct_clamps_to_valid_positions(keys):
+    model = InterpolationModel(keys)
+    layer = CompactShiftTable.build(keys, model)
+    assert 0 <= layer.correct(-1e12) < N
+    assert 0 <= layer.correct(1e15) < N
+
+
+def test_compression_halves_entries(keys):
+    """S-X in Figure 9: one entry per X records."""
+    model = InterpolationModel(keys)
+    full = CompactShiftTable.build(keys, model)
+    s10 = CompactShiftTable.build(keys, model, num_partitions=N // 10)
+    assert s10.num_partitions == N // 10
+    assert s10.size_bytes() < full.size_bytes()
+
+
+def test_compression_increases_error(keys):
+    """Figure 9b: error grows monotonically with compression."""
+    model = InterpolationModel(keys)
+    errors = []
+    for x in (1, 10, 100, 1000):
+        layer = CompactShiftTable.build(keys, model, num_partitions=N // x)
+        errors.append(layer.mean_abs_error)
+    assert errors == sorted(errors)
+
+
+def test_s1_is_half_of_r1(keys):
+    """Paper §4.3: 'the memory footprint of S-1 is half the size of R-1'."""
+    model = InterpolationModel(keys)
+    r1 = ShiftTable.build(keys, model)
+    s1 = CompactShiftTable.build(keys, model)
+    assert s1.size_bytes() * 2 == r1.size_bytes()
+
+
+def test_sample_build_cheaper_but_less_accurate(keys):
+    model = InterpolationModel(keys)
+    full = CompactShiftTable.build(keys, model)
+    sampled = CompactShiftTable.build(keys, model, sample_size=N // 50)
+    assert sampled.num_partitions == full.num_partitions
+    # compare empirically over *all* keys (the layer's own mean_abs_error
+    # for a sampled build is measured on the sample only)
+    pred = model.predict_pos_batch(keys)
+    truth = np.searchsorted(keys, keys, side="left")
+    err_full = np.abs(truth - full.correct_batch(pred)).mean()
+    err_sampled = np.abs(truth - sampled.correct_batch(pred)).mean()
+    assert err_sampled >= err_full
+
+
+def test_sample_build_deterministic(keys):
+    model = InterpolationModel(keys)
+    a = CompactShiftTable.build(keys, model, sample_size=N // 10, seed=3)
+    b = CompactShiftTable.build(keys, model, sample_size=N // 10, seed=3)
+    assert np.array_equal(a.drifts, b.drifts)
+
+
+def test_build_rejects_bad_args(keys):
+    model = InterpolationModel(keys)
+    with pytest.raises(ValueError):
+        CompactShiftTable.build(keys, model, num_partitions=0)
+    with pytest.raises(ValueError):
+        CompactShiftTable.build(keys, InterpolationModel(keys[:10]))
+    with pytest.raises(ValueError):
+        CompactShiftTable.build(np.asarray([], dtype=np.uint64), model)
+
+
+def test_entry_bytes_shrink_with_small_drifts():
+    keys = (np.arange(1000, dtype=np.uint64) * 3).astype(np.uint64)
+    model = InterpolationModel(keys)
+    layer = CompactShiftTable.build(keys, model)
+    assert layer.entry_bytes <= 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=4, max_size=200),
+    m_div=st.sampled_from([1, 2, 7]),
+)
+def test_property_corrected_positions_are_valid(keys, m_div):
+    model = InterpolationModel(keys)
+    m = max(len(keys) // m_div, 1)
+    layer = CompactShiftTable.build(keys, model, num_partitions=m)
+    pred = model.predict_pos_batch(keys)
+    corrected = layer.correct_batch(pred)
+    assert bool(np.all((0 <= corrected) & (corrected < len(keys))))

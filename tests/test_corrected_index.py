@@ -1,0 +1,198 @@
+"""CorrectedIndex: the full query path of Algorithm 1 plus §3.8 handling.
+
+The heart of the file is the cross-product correctness sweep: every model
+family × every layer mode × datasets with and without duplicates, checked
+against ``np.searchsorted`` for indexed, non-indexed and out-of-range
+queries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact import CompactShiftTable
+from repro.core.corrected_index import CorrectedIndex, validated_window_search
+from repro.core.records import SortedData
+from repro.core.shift_table import ShiftTable
+from repro.datasets import load
+from repro.hardware.tracker import alloc_region
+from repro.models import (
+    FunctionModel,
+    InterpolationModel,
+    LinearModel,
+    PGMModel,
+    RadixSplineModel,
+    RMIModel,
+)
+
+from conftest import queries_for, sorted_uint_arrays
+
+N = 20_000
+REGION = alloc_region("ci_tests", 8, 1 << 20)
+
+
+def make_queries(keys, seed=1, count=400):
+    rng = np.random.default_rng(seed)
+    lo, hi = int(keys.min()), int(keys.max())
+    dom = (lo + (rng.random(count) * max(hi - lo, 1)).astype(np.uint64)).astype(
+        keys.dtype
+    )
+    edges = np.asarray([lo, hi, max(lo - 1, 0), hi + 1], dtype=np.uint64).astype(
+        keys.dtype
+    )
+    return np.concatenate([rng.choice(keys, count), dom, edges])
+
+
+def model_zoo(keys):
+    return [
+        InterpolationModel(keys),
+        LinearModel(keys),
+        RMIModel(keys, num_leaves=256),
+        RMIModel(keys, num_leaves=128, root="cubic"),
+        RadixSplineModel(keys, epsilon=16, radix_bits=10),
+        PGMModel(keys, epsilon=32),
+    ]
+
+
+def layer_zoo(keys, model):
+    return [
+        None,
+        ShiftTable.build(keys, model),
+        ShiftTable.build(keys, model, num_partitions=max(len(keys) // 64, 1)),
+        CompactShiftTable.build(keys, model),
+        CompactShiftTable.build(keys, model, num_partitions=max(len(keys) // 16, 1)),
+    ]
+
+
+@pytest.mark.parametrize("dataset", ["face64", "wiki64", "logn32", "uden32"])
+def test_cross_product_correctness(dataset):
+    keys = load(dataset, N, seed=13)
+    data = SortedData(keys, name=dataset)
+    queries = make_queries(keys)
+    truth = data.lower_bound_batch(queries)
+    for model in model_zoo(keys):
+        for layer in layer_zoo(keys, model):
+            index = CorrectedIndex(data, model, layer)
+            got = index.lookup_batch(queries)
+            assert np.array_equal(got, truth), (
+                dataset,
+                model.name,
+                type(layer).__name__ if layer else None,
+            )
+
+
+def test_validation_enabled_for_nonmonotone_models():
+    keys = load("face64", N, seed=13)
+    data = SortedData(keys)
+    rmi = RMIModel(keys, num_leaves=128, root="cubic")
+    index = CorrectedIndex(data, rmi, ShiftTable.build(keys, rmi))
+    assert index.validate
+    im = InterpolationModel(keys)
+    index2 = CorrectedIndex(data, im, ShiftTable.build(keys, im))
+    assert not index2.validate
+
+
+def test_validation_enabled_for_merged_partitions():
+    keys = load("face64", N, seed=13)
+    data = SortedData(keys)
+    im = InterpolationModel(keys)
+    layer = ShiftTable.build(keys, im, num_partitions=N // 8)
+    assert CorrectedIndex(data, im, layer).validate
+
+
+def test_constructor_rejects_mismatches():
+    keys = load("uden32", N, seed=13)
+    data = SortedData(keys)
+    with pytest.raises(ValueError):
+        CorrectedIndex(data, InterpolationModel(keys[: N // 2]))
+    im = InterpolationModel(keys)
+    with pytest.raises(ValueError):
+        CorrectedIndex(data, im, ShiftTable.build(keys[: N // 2],
+                                                  InterpolationModel(keys[: N // 2])))
+
+
+def test_naming_conventions():
+    keys = load("uden32", N, seed=13)
+    data = SortedData(keys)
+    im = InterpolationModel(keys)
+    assert CorrectedIndex(data, im).name == "IM"
+    assert CorrectedIndex(data, im, ShiftTable.build(keys, im)).name == "IM+ShiftTable"
+    assert (
+        CorrectedIndex(data, im, CompactShiftTable.build(keys, im)).name
+        == "IM+ShiftTable[S]"
+    )
+
+
+def test_size_accounting():
+    keys = load("uden32", N, seed=13)
+    data = SortedData(keys)
+    im = InterpolationModel(keys)
+    layer = ShiftTable.build(keys, im)
+    bare = CorrectedIndex(data, im)
+    layered = CorrectedIndex(data, im, layer)
+    assert layered.size_bytes() == bare.size_bytes() + layer.size_bytes()
+    info = layered.build_info()
+    assert info["layer_partitions"] == N
+
+
+# ----------------------------------------------------------------------
+# validated_window_search unit behaviour (§3.8)
+# ----------------------------------------------------------------------
+FIXED = np.asarray([10, 20, 30, 40, 50, 60, 70, 80], dtype=np.uint64)
+
+
+@pytest.mark.parametrize("start,width", [
+    (2, 3),      # correct window
+    (5, 2),      # answer left of window
+    (0, 1),      # answer right of window
+    (-5, 2),     # window clipped at 0
+    (7, 10),     # window clipped at n
+    (100, 5),    # window entirely past the end
+    (-100, 5),   # window entirely before the start
+    (3, -10),    # degenerate negative width
+])
+@pytest.mark.parametrize("q", [5, 30, 35, 55, 85])
+def test_validated_search_always_correct(start, width, q):
+    expected = int(np.searchsorted(FIXED, q))
+    got = validated_window_search(FIXED, REGION, q=q, start=start, width=width)
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=1, max_size=200),
+    start=st.integers(-300, 500),
+    width=st.integers(-10, 300),
+    seed=st.integers(0, 999),
+)
+def test_property_validated_search_arbitrary_windows(keys, start, width, seed):
+    for q in queries_for(keys, seed, count=6):
+        expected = int(np.searchsorted(keys, q, side="left"))
+        got = validated_window_search(
+            keys, REGION, q=q, start=start, width=width
+        )
+        assert got == expected
+
+
+# ----------------------------------------------------------------------
+# property: full index correctness over arbitrary data and models
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=2, max_size=250),
+    seed=st.integers(0, 999),
+    layered=st.sampled_from(["none", "r", "s"]),
+)
+def test_property_index_matches_searchsorted(keys, seed, layered):
+    data = SortedData(keys)
+    model = InterpolationModel(keys)
+    if layered == "r":
+        layer = ShiftTable.build(keys, model)
+    elif layered == "s":
+        layer = CompactShiftTable.build(keys, model)
+    else:
+        layer = None
+    index = CorrectedIndex(data, model, layer)
+    for q in queries_for(keys, seed, count=10):
+        assert index.lookup(q) == int(np.searchsorted(keys, q, side="left"))

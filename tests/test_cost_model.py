@@ -1,0 +1,110 @@
+"""The §3.7 cost model: eq. 8 exactness, curve behaviour, eqs. 9-10, and
+the §4.1 enable/disable rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import (
+    LatencyCurve,
+    expected_error,
+    latency_with_layer,
+    latency_without_layer,
+    measure_latency_curve,
+    should_enable_layer,
+)
+from repro.datasets import load
+from repro.hardware.machine import MachineSpec
+
+
+def test_expected_error_formula():
+    """Eq. (8): ē = (1/2N) Σ C_k²."""
+    counts = np.asarray([2, 0, 3, 1], dtype=np.int64)
+    n = counts.sum()
+    assert expected_error(counts) == pytest.approx((4 + 9 + 1) / (2 * n))
+
+
+def test_expected_error_empty():
+    assert expected_error(np.zeros(4, dtype=np.int64)) == 0.0
+
+
+def test_expected_error_matches_empirical_mean_error():
+    """Eq. (8) against a brute-force computation of the §3.5 error model:
+    querying each key of a partition with C keys and searching from the
+    window start costs 0..C-1, i.e. (C-1)/2 on average per key."""
+    rng = np.random.default_rng(0)
+    counts = rng.integers(0, 6, size=100).astype(np.int64)
+    n = counts.sum()
+    empirical = sum(c * (c - 1) / 2 for c in counts) / n
+    # eq. (8) uses C/2 instead of (C-1)/2 — an upper bound within C/2
+    assert empirical <= expected_error(counts) <= empirical + 0.5
+
+
+def test_latency_curve_interpolates_and_extrapolates():
+    curve = LatencyCurve(
+        np.asarray([1, 16, 256]), np.asarray([10.0, 50.0, 100.0])
+    )
+    assert curve(1) == pytest.approx(10.0)
+    assert curve(16) == pytest.approx(50.0)
+    assert 10.0 < curve(4) < 50.0
+    assert curve(1024) > 100.0  # log-linear extrapolation
+    assert curve(0.5) == pytest.approx(10.0)  # clamped at s=1
+    out = curve(np.asarray([1.0, 256.0]))
+    assert out == pytest.approx([10.0, 100.0])
+
+
+def test_latency_curve_validation():
+    with pytest.raises(ValueError):
+        LatencyCurve(np.asarray([1]), np.asarray([10.0]))
+    with pytest.raises(ValueError):
+        LatencyCurve(np.asarray([4, 2]), np.asarray([1.0, 2.0]))
+
+
+def test_measured_curve_is_increasing():
+    keys = load("uspr32", 100_000, seed=1)
+    machine = MachineSpec.paper().scaled_for(len(keys), 12)
+    curve = measure_latency_curve(
+        keys, machine, sizes=(1, 16, 256, 4096), queries_per_size=32
+    )
+    lat = list(curve.latencies_ns)
+    assert lat[0] < lat[-1]
+    assert all(v > 0 for v in lat)
+
+
+def test_eq9_eq10_relationship():
+    """For a high-error model the layer should predict a win (eq9 < eq10)
+    and for a near-perfect model it should not."""
+    curve = LatencyCurve(
+        np.asarray([1, 10, 100, 1000, 10000]),
+        np.asarray([5.0, 40.0, 150.0, 400.0, 900.0]),
+    )
+    n = 1000
+    counts = np.ones(n, dtype=np.int64)
+    # bad model: every partition is off by ~5000 records
+    bad_deltas = np.full(n, 5000, dtype=np.int64)
+    assert latency_with_layer(5.0, counts, curve) < latency_without_layer(
+        5.0, counts, bad_deltas, curve
+    )
+    # perfect model: zero drift everywhere
+    good_deltas = np.zeros(n, dtype=np.int64)
+    assert latency_with_layer(5.0, counts, curve) > latency_without_layer(
+        5.0, counts, good_deltas, curve
+    )
+
+
+def test_layer_lookup_cost_included():
+    curve = LatencyCurve(np.asarray([1, 10]), np.asarray([5.0, 40.0]))
+    counts = np.ones(10, dtype=np.int64)
+    base = latency_with_layer(0.0, counts, curve, layer_ns=0.0)
+    with_layer = latency_with_layer(0.0, counts, curve, layer_ns=40.0)
+    assert with_layer == pytest.approx(base + 40.0)
+
+
+@pytest.mark.parametrize("before,after,expected", [
+    (5.0, 0.1, False),    # §4.1 rule 1: error already below 10
+    (100.0, 50.0, False),  # rule 2: improvement below 10x
+    (100.0, 5.0, True),
+    (1e6, 10.0, True),
+    (50.0, 0.0, True),
+])
+def test_should_enable_layer(before, after, expected):
+    assert should_enable_layer(before, after) is expected

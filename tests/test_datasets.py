@@ -1,0 +1,136 @@
+"""Dataset generators: determinism, sortedness, the Table 2 duplicate
+pattern, and the Figure 3 micro-complexity contrast."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    REALWORLD_NAMES,
+    SYNTHETIC_NAMES,
+    TABLE2_DATASETS,
+    cdf_series,
+    key_positions,
+    load,
+    local_linearity,
+    lower_bound_positions,
+    parse_name,
+    upper_bound_positions,
+)
+from repro.datasets import registry
+
+N = 50_000
+
+#: Datasets that must be duplicate-free (ART supported in Table 2).
+UNIQUE = {"norm32", "uden32", "logn64", "norm64", "uden64", "uspr64",
+          "face32", "face64"}
+#: Datasets that must contain duplicates (ART N/A in Table 2).
+DUPLICATED = {"logn32", "uspr32", "amzn32", "amzn64", "osmc64", "wiki64"}
+
+
+@pytest.mark.parametrize("name", TABLE2_DATASETS)
+def test_generator_basic_contract(name):
+    keys = load(name, N, seed=7)
+    assert len(keys) == N
+    assert keys.dtype == (np.uint32 if name.endswith("32") else np.uint64)
+    assert bool(np.all(keys[1:] >= keys[:-1]))
+
+
+@pytest.mark.parametrize("name", TABLE2_DATASETS)
+def test_generator_deterministic(name):
+    a = load(name, N, seed=3)
+    registry.clear_cache()
+    b = load(name, N, seed=3)
+    assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("name", TABLE2_DATASETS)
+def test_generator_seed_sensitivity(name):
+    a = load(name, N, seed=3)
+    b = load(name, N, seed=4)
+    assert not np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("name", sorted(UNIQUE))
+def test_art_supported_datasets_are_unique(name):
+    keys = load(name, N, seed=7)
+    assert not bool(np.any(keys[1:] == keys[:-1])), f"{name} must be unique"
+
+
+@pytest.mark.parametrize("name", sorted(DUPLICATED))
+def test_art_na_datasets_have_duplicates(name):
+    keys = load(name, N, seed=7)
+    assert bool(np.any(keys[1:] == keys[:-1])), f"{name} must have duplicates"
+
+
+def test_duplicate_pattern_is_exactly_table2():
+    assert UNIQUE | DUPLICATED == set(TABLE2_DATASETS)
+
+
+def test_parse_name():
+    assert parse_name("face64") == ("face", 64)
+    assert parse_name("logn32") == ("logn", 32)
+    with pytest.raises(KeyError):
+        parse_name("foo64")
+    with pytest.raises(KeyError):
+        parse_name("face16")
+
+
+def test_registry_names_complete():
+    assert len(TABLE2_DATASETS) == 14
+    assert set(SYNTHETIC_NAMES) == {"logn", "norm", "uden", "uspr"}
+    assert set(REALWORLD_NAMES) == {"amzn", "face", "osmc", "wiki"}
+
+
+def test_uden_is_exactly_dense():
+    keys = load("uden64", N, seed=7)
+    assert bool(np.all(np.diff(keys.astype(np.int64)) == 1))
+
+
+def test_figure3_contrast_synthetic_vs_real():
+    """Figure 3: synthetic CDFs are locally near-linear, real-world not."""
+    smooth = local_linearity(load("uden64", N, seed=7), window=256)
+    for real in ("face64", "osmc64", "wiki64", "amzn64"):
+        rough = local_linearity(load(real, N, seed=7), window=256)
+        assert rough > 5 * smooth + 1e-6, real
+
+
+def test_lower_bound_positions_semantics():
+    data = np.asarray([2, 4, 4, 9], dtype=np.uint64)
+    assert list(key_positions(data)) == [0, 1, 1, 3]
+    assert list(lower_bound_positions(data, np.asarray([1, 4, 5, 10]))) == [0, 1, 3, 4]
+
+
+def test_upper_bound_positions_semantics():
+    data = np.asarray([2, 4, 4, 9], dtype=np.uint64)
+    # position of the last duplicate (the §3.2 x >= q convention)
+    assert list(upper_bound_positions(data, np.asarray([4]))) == [2]
+
+
+def test_cdf_convention_endpoints():
+    """§3.2: N·F(x0) = 0 and N·F(x_{N-1}) = N-1 (for unique keys)."""
+    keys = load("face64", N, seed=7)
+    pos = key_positions(keys)
+    assert pos[0] == 0
+    assert pos[-1] == N - 1
+
+
+def test_cdf_series_shape():
+    keys = load("wiki64", N, seed=7)
+    xs, ys = cdf_series(keys, points=100)
+    assert len(xs) == len(ys) == 100
+    assert ys[0] == 0 and ys[-1] == N - 1
+
+
+def test_local_linearity_rejects_tiny_dataset():
+    with pytest.raises(ValueError):
+        local_linearity(np.arange(10, dtype=np.uint64), window=1024)
+
+
+@pytest.mark.parametrize("name", ["face64", "osmc64"])
+def test_generators_reject_bad_args(name):
+    base, bits = parse_name(name)
+    gen = registry._GENERATORS[base]
+    with pytest.raises(ValueError):
+        gen(0, bits=bits)
+    with pytest.raises(ValueError):
+        gen(100, bits=33)

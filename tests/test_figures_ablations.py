@@ -1,0 +1,92 @@
+"""ASCII chart rendering and the extra ablation drivers."""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments
+from repro.bench.figures import ascii_chart, series_from_rows
+
+SMALL = dict(n=8000, seed=23)
+
+
+# ----------------------------------------------------------------------
+# ascii charts
+# ----------------------------------------------------------------------
+def test_ascii_chart_renders_series():
+    chart = ascii_chart(
+        {"a": [(1, 10), (100, 1000)], "b": [(1, 1000), (100, 10)]},
+        width=32, height=8, title="T",
+    )
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert "o = a" in lines[-1] and "x = b" in lines[-1]
+    assert any("o" in line for line in lines[1:-1])
+
+
+def test_ascii_chart_log_axis_positions():
+    # on a log-x axis, 1 / 10 / 100 are equally spaced columns
+    chart = ascii_chart({"s": [(1, 5), (10, 5), (100, 5)]}, width=21, height=3)
+    row = next(line for line in chart.splitlines() if "o" in line)
+    cols = [i for i, c in enumerate(row) if c == "o"]
+    assert cols[1] - cols[0] == cols[2] - cols[1]
+
+
+def test_ascii_chart_rejects_bad_input():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"a": [(0, 1)]})  # zero on a log axis
+
+
+def test_ascii_chart_linear_axes():
+    chart = ascii_chart(
+        {"a": [(0, 0), (10, 10)]}, width=16, height=4, log_x=False, log_y=False
+    )
+    assert "o" in chart
+
+
+def test_series_from_rows_groups_and_sorts():
+    rows = [
+        {"m": "x", "s": 10, "ns": 5.0},
+        {"m": "x", "s": 1, "ns": 9.0},
+        {"m": "y", "s": 2, "ns": 3.0},
+        {"m": "y", "s": 4, "ns": None},
+    ]
+    series = series_from_rows(rows, "m", "s", "ns")
+    assert series["x"] == [(1.0, 9.0), (10.0, 5.0)]
+    assert series["y"] == [(2.0, 3.0)]
+
+
+# ----------------------------------------------------------------------
+# extra ablation drivers
+# ----------------------------------------------------------------------
+def test_ablation_entry_width_tracks_model_accuracy():
+    rows = experiments.ablation_entry_width(dataset="wiki64", **SMALL)
+    by = {r["model"]: r for r in rows}
+    # the dummy IM model drifts by thousands of records; a tuned spline
+    # drifts by tens -> the auto-chosen entry narrows accordingly (§3.9)
+    assert by["IM"]["entry_bytes"] >= by["RS[eps=32,r=18]"]["entry_bytes"]
+    for r in rows:
+        assert r["entry_bytes"] in (2, 4, 8, 16)
+        assert r["max_abs_drift"] < (1 << (8 * (r["entry_bytes"] // 2) - 1))
+
+
+def test_ablation_query_skew_layer_keeps_lead():
+    rows = experiments.ablation_query_skew(
+        dataset="face64", n=SMALL["n"], num_queries=128, seed=SMALL["seed"]
+    )
+    assert {r["workload"] for r in rows} == {
+        "uniform-keys", "zipf-keys", "uniform-domain",
+    }
+    for r in rows:
+        assert r["correct"]
+        assert r["ns_with_layer"] < r["ns_without"], r["workload"]
+
+
+def test_ablation_query_skew_hot_keys_are_cheaper():
+    rows = experiments.ablation_query_skew(
+        dataset="face64", n=SMALL["n"], num_queries=128, seed=SMALL["seed"]
+    )
+    by = {r["workload"]: r for r in rows}
+    # repeated hot keys keep their lines cached
+    assert by["zipf-keys"]["ns_with_layer"] <= by["uniform-keys"]["ns_with_layer"]

@@ -1,0 +1,110 @@
+"""Gapped-array (ALEX-style) updates: the §6 design alternative."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gapped import GappedLearnedIndex
+from repro.datasets import load
+
+from conftest import sorted_uint_arrays
+
+N = 20_000
+
+
+@pytest.fixture()
+def gapped():
+    return GappedLearnedIndex(load("wiki64", N, seed=121), density=0.75)
+
+
+def test_construction_spreads_keys(gapped):
+    assert gapped.capacity > N
+    assert gapped.gap_fraction == pytest.approx(0.25, abs=0.01)
+    assert np.array_equal(gapped.real_keys(), load("wiki64", N, seed=121))
+    assert not gapped.needs_expand()
+
+
+def test_gapped_array_is_sorted(gapped):
+    keys = gapped.data.keys
+    assert bool(np.all(keys[1:] >= keys[:-1]))
+
+
+def test_lookup_lands_on_run_start(gapped):
+    keys = load("wiki64", N, seed=121)
+    for q in np.random.default_rng(0).choice(keys, 200):
+        pos = gapped.lookup(q)
+        garr = gapped.data.keys
+        assert garr[pos] >= q
+        assert pos == 0 or garr[pos - 1] < q
+
+
+def test_rank_matches_searchsorted(gapped):
+    keys = load("wiki64", N, seed=121)
+    probes = np.random.default_rng(1).choice(keys, 200)
+    got = np.asarray([gapped.rank(q) for q in probes])
+    assert np.array_equal(got, np.searchsorted(keys, probes))
+
+
+def test_inserts_shift_few_slots(gapped):
+    keys = load("wiki64", N, seed=121)
+    rng = np.random.default_rng(2)
+    lo, hi = int(keys.min()), int(keys.max())
+    inserts = (lo + (rng.random(1000) * (hi - lo)).astype(np.uint64)).astype(
+        keys.dtype
+    )
+    shifts = [gapped.insert(k) for k in inserts]
+    # the ALEX promise: inserts move a handful of slots, not O(n)
+    assert np.mean(shifts) < 20
+    merged = np.sort(np.concatenate([keys, inserts]))
+    assert np.array_equal(gapped.real_keys(), merged)
+
+
+def test_ranks_stay_exact_after_inserts(gapped):
+    keys = load("wiki64", N, seed=121)
+    rng = np.random.default_rng(3)
+    lo, hi = int(keys.min()), int(keys.max())
+    inserts = (lo + (rng.random(500) * (hi - lo)).astype(np.uint64)).astype(
+        keys.dtype
+    )
+    for k in inserts:
+        gapped.insert(k)
+    merged = np.sort(np.concatenate([keys, inserts]))
+    probes = rng.choice(merged, 200)
+    got = np.asarray([gapped.rank(q) for q in probes])
+    assert np.array_equal(got, np.searchsorted(merged, probes))
+
+
+def test_expansion_when_full():
+    keys = (np.arange(64, dtype=np.uint64) * 7 + 3).astype(np.uint64)
+    g = GappedLearnedIndex(keys, density=0.95)
+    rng = np.random.default_rng(4)
+    for _ in range(200):
+        g.insert(np.uint64(rng.integers(0, 600)))
+    assert g.num_keys == 64 + 200
+    assert bool(np.all(np.diff(g.real_keys().astype(np.int64)) >= 0))
+
+
+def test_density_validation():
+    keys = np.arange(10, dtype=np.uint64)
+    with pytest.raises(ValueError):
+        GappedLearnedIndex(keys, density=0.01)
+    with pytest.raises(ValueError):
+        GappedLearnedIndex(np.asarray([], dtype=np.uint64))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=2, max_size=120, allow_duplicates=False),
+    inserts=st.lists(st.integers(0, (1 << 48) - 1), min_size=1, max_size=30),
+)
+def test_property_gapped_inserts(keys, inserts):
+    g = GappedLearnedIndex(keys, density=0.7)
+    for k in inserts:
+        g.insert(np.uint64(k))
+    merged = np.sort(
+        np.concatenate([keys, np.asarray(inserts, dtype=np.uint64)])
+    )
+    assert np.array_equal(g.real_keys(), merged)
+    probe = merged[len(merged) // 2]
+    assert g.rank(probe) == int(np.searchsorted(merged, probe))

@@ -1,0 +1,81 @@
+"""Unit tests for the LRU cache level."""
+
+import pytest
+
+from repro.hardware.cache import LRUCacheLevel
+
+
+def test_miss_then_hit():
+    level = LRUCacheLevel(capacity_lines=4, latency_ns=1.0)
+    assert not level.lookup(10)
+    level.fill(10)
+    assert level.lookup(10)
+    assert level.hits == 1
+    assert level.misses == 1
+
+
+def test_eviction_is_lru_order():
+    level = LRUCacheLevel(capacity_lines=2, latency_ns=1.0)
+    level.fill(1)
+    level.fill(2)
+    level.fill(3)  # evicts 1
+    assert 1 not in level
+    assert 2 in level and 3 in level
+
+
+def test_hit_promotes_line():
+    level = LRUCacheLevel(capacity_lines=2, latency_ns=1.0)
+    level.fill(1)
+    level.fill(2)
+    assert level.lookup(1)  # 1 becomes MRU
+    level.fill(3)  # evicts 2, not 1
+    assert 1 in level
+    assert 2 not in level
+
+
+def test_fill_existing_promotes_without_eviction():
+    level = LRUCacheLevel(capacity_lines=2, latency_ns=1.0)
+    level.fill(1)
+    level.fill(2)
+    level.fill(1)  # already present: promote, no eviction
+    assert len(level) == 2
+    level.fill(3)  # evicts 2 (LRU after 1's promotion)
+    assert 1 in level and 2 not in level
+
+
+def test_capacity_never_exceeded():
+    level = LRUCacheLevel(capacity_lines=8, latency_ns=1.0)
+    for line in range(100):
+        level.fill(line)
+    assert len(level) == 8
+
+
+def test_flush_clears_lines_keeps_stats():
+    level = LRUCacheLevel(capacity_lines=4, latency_ns=1.0)
+    level.fill(1)
+    level.lookup(1)
+    level.flush()
+    assert 1 not in level
+    assert level.hits == 1
+
+
+def test_fill_many():
+    level = LRUCacheLevel(capacity_lines=4, latency_ns=1.0)
+    level.fill_many(range(10))
+    assert len(level) == 4
+    assert all(line in level for line in (6, 7, 8, 9))
+
+
+def test_reset_stats():
+    level = LRUCacheLevel(capacity_lines=4, latency_ns=1.0)
+    level.lookup(1)
+    level.fill(1)
+    level.lookup(1)
+    level.reset_stats()
+    assert level.hits == 0 and level.misses == 0
+    assert 1 in level  # contents survive a stats reset
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCacheLevel(capacity_lines=0, latency_ns=1.0)

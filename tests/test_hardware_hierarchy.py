@@ -1,0 +1,130 @@
+"""Unit tests for the simulated memory hierarchy."""
+
+import pytest
+
+from repro.hardware.hierarchy import _EXACT_SCAN_LIMIT, MemoryHierarchy
+from repro.hardware.machine import MachineSpec
+
+
+def tiny_machine(**overrides) -> MachineSpec:
+    params = dict(
+        l1_bytes=4 * 64,
+        l2_bytes=16 * 64,
+        l3_bytes=64 * 64,
+        l1_ns=1.0,
+        l2_ns=4.0,
+        l3_ns=12.0,
+        dram_ns=36.0,
+        seq_line_ns=2.0,
+    )
+    params.update(overrides)
+    return MachineSpec(**params)
+
+
+def test_cold_access_costs_dram():
+    h = MemoryHierarchy(tiny_machine())
+    assert h.access(5) == 36.0
+    assert h.stats.dram_accesses == 1
+
+
+def test_second_access_hits_l1():
+    h = MemoryHierarchy(tiny_machine())
+    h.access(5)
+    assert h.access(5) == 1.0
+    assert h.stats.l1_hits == 1
+
+
+def test_inclusive_fill_l2_hit_after_l1_eviction():
+    h = MemoryHierarchy(tiny_machine())
+    h.access(0)
+    # evict line 0 from tiny L1 (4 lines) but keep it in L2 (16 lines)
+    for line in range(1, 6):
+        h.access(line)
+    assert h.access(0) == 4.0  # L2 hit
+    assert h.stats.l2_hits == 1
+
+
+def test_l3_hit_after_l2_eviction():
+    h = MemoryHierarchy(tiny_machine())
+    h.access(0)
+    for line in range(1, 20):
+        h.access(line)
+    assert h.access(0) == 12.0  # L3 hit
+    assert h.stats.l3_hits == 1
+
+
+def test_scan_streams_after_first_miss():
+    h = MemoryHierarchy(tiny_machine())
+    ns = h.scan(100, 10)
+    # one cold miss + 9 prefetched lines
+    assert ns == pytest.approx(36.0 + 9 * 2.0)
+    assert h.stats.dram_accesses == 10
+
+
+def test_scan_hits_cached_lines():
+    h = MemoryHierarchy(tiny_machine())
+    h.access(100)
+    ns = h.scan(100, 2)
+    # line 100 is an L1 hit; line 101 restarts the stream with a full miss
+    assert ns == pytest.approx(1.0 + 36.0)
+
+
+def test_scan_zero_or_negative_length_is_free():
+    h = MemoryHierarchy(tiny_machine())
+    assert h.scan(0, 0) == 0.0
+    assert h.stats.accesses == 0
+
+
+def test_analytic_scan_matches_streaming_cost():
+    h = MemoryHierarchy(tiny_machine())
+    n = _EXACT_SCAN_LIMIT + 10
+    ns = h.scan(0, n)
+    assert ns == pytest.approx(36.0 + (n - 1) * 2.0)
+    assert h.stats.dram_accesses == n
+
+
+def test_analytic_scan_leaves_tail_cached():
+    h = MemoryHierarchy(tiny_machine())
+    n = _EXACT_SCAN_LIMIT + 10
+    h.scan(0, n)
+    # last line of the scan should be resident (filled during the scan)
+    assert h.access(n - 1) == 1.0
+
+
+def test_instructions_cost():
+    machine = tiny_machine()
+    h = MemoryHierarchy(machine)
+    ns = h.instructions(10)
+    assert ns == pytest.approx(10 * machine.instr_ns)
+    assert h.stats.instructions == 10
+
+
+def test_total_ns_accumulates():
+    h = MemoryHierarchy(tiny_machine())
+    h.access(1)
+    h.access(1)
+    h.instructions(5)
+    assert h.stats.total_ns == pytest.approx(36.0 + 1.0 + 0.5)
+
+
+def test_reset_stats_keeps_cache_contents():
+    h = MemoryHierarchy(tiny_machine())
+    h.access(1)
+    h.reset_stats()
+    assert h.stats.accesses == 0
+    assert h.access(1) == 1.0  # still cached
+
+
+def test_flush_caches():
+    h = MemoryHierarchy(tiny_machine())
+    h.access(1)
+    h.flush_caches()
+    assert h.access(1) == 36.0
+
+
+def test_llc_misses_property():
+    h = MemoryHierarchy(tiny_machine())
+    h.access(1)
+    h.access(1)
+    assert h.stats.llc_misses == 1
+    assert h.stats.l1_misses == 1

@@ -1,0 +1,75 @@
+"""Unit tests for regions and access trackers."""
+
+import pytest
+
+from repro.hardware.hierarchy import MemoryHierarchy
+from repro.hardware.machine import MachineSpec
+from repro.hardware.tracker import NULL_TRACKER, Region, SimTracker, alloc_region
+
+
+def test_alloc_region_alignment_and_disjointness():
+    a = alloc_region("a", 8, 100)
+    b = alloc_region("b", 8, 100)
+    assert a.base % 64 == 0 and b.base % 64 == 0
+    # no shared cache line between consecutive regions
+    last_line_a = (a.base + a.nbytes - 1) // 64
+    first_line_b = b.base // 64
+    assert first_line_b > last_line_a
+
+
+def test_alloc_region_validation():
+    with pytest.raises(ValueError):
+        alloc_region("bad", 0, 10)
+    with pytest.raises(ValueError):
+        alloc_region("bad", 8, -1)
+
+
+def test_region_nbytes():
+    r = Region("r", 0, 16, 10)
+    assert r.nbytes == 160
+
+
+def test_null_tracker_is_noop():
+    r = alloc_region("nt", 8, 10)
+    NULL_TRACKER.touch(r, 3)
+    NULL_TRACKER.scan(r, 0, 10)
+    NULL_TRACKER.instr(100)  # nothing to assert: must simply not fail
+
+
+def test_sim_tracker_touch_maps_to_lines():
+    machine = MachineSpec()
+    h = MemoryHierarchy(machine)
+    t = SimTracker(h)
+    r = alloc_region("st", 8, 64)
+    t.touch(r, 0)
+    t.touch(r, 7)  # same 64-byte line (8 items x 8 bytes)
+    assert h.stats.accesses == 2
+    assert h.stats.dram_accesses == 1  # second touch hits L1
+    t.touch(r, 8)  # next line
+    assert h.stats.dram_accesses == 2
+
+
+def test_sim_tracker_scan_line_count():
+    machine = MachineSpec()
+    h = MemoryHierarchy(machine)
+    t = SimTracker(h)
+    r = alloc_region("scan", 8, 1024)
+    t.scan(r, 0, 16)  # 128 bytes = 2 lines
+    assert h.stats.accesses == 2
+
+
+def test_sim_tracker_scan_empty_range():
+    h = MemoryHierarchy(MachineSpec())
+    t = SimTracker(h)
+    r = alloc_region("empty", 8, 16)
+    t.scan(r, 5, 5)
+    assert h.stats.accesses == 0
+
+
+def test_sim_tracker_instr_and_stats_passthrough():
+    h = MemoryHierarchy(MachineSpec())
+    t = SimTracker(h)
+    t.instr(7)
+    assert t.stats.instructions == 7
+    t.reset_stats()
+    assert t.stats.instructions == 0

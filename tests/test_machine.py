@@ -1,0 +1,59 @@
+"""Unit tests for MachineSpec."""
+
+import pytest
+
+from repro.hardware.machine import PAPER_NUM_KEYS, MachineSpec
+
+
+def test_paper_machine_matches_section4():
+    m = MachineSpec.paper()
+    assert m.l1_bytes == 32 * 1024
+    assert m.l2_bytes == 256 * 1024
+    assert m.l3_bytes == 8 * 1024 * 1024
+    assert m.dram_ns == 36.0  # Intel MLC measurement from §4
+
+
+def test_line_counts():
+    m = MachineSpec.paper()
+    assert m.l1_lines == 512
+    assert m.l3_lines == 131072
+
+
+def test_scaled_for_preserves_ratio():
+    m = MachineSpec.paper()
+    scaled = m.scaled_for(PAPER_NUM_KEYS // 100)
+    assert scaled.l3_bytes == pytest.approx(m.l3_bytes / 100, rel=0.05)
+    assert scaled.dram_ns == m.dram_ns  # latencies unchanged
+
+
+def test_scaled_for_full_size_is_identity():
+    m = MachineSpec.paper()
+    assert m.scaled_for(PAPER_NUM_KEYS) is m
+    assert m.scaled_for(PAPER_NUM_KEYS * 2) is m
+
+
+def test_scaled_for_floors_tiny_caches():
+    m = MachineSpec.paper()
+    scaled = m.scaled_for(1000)
+    assert scaled.l1_bytes >= 8 * scaled.line_size
+    assert scaled.l1_bytes <= scaled.l2_bytes <= scaled.l3_bytes
+
+
+def test_scaled_for_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        MachineSpec.paper().scaled_for(0)
+
+
+def test_validation_rejects_bad_line_size():
+    with pytest.raises(ValueError):
+        MachineSpec(line_size=48)
+
+
+def test_validation_rejects_inverted_cache_sizes():
+    with pytest.raises(ValueError):
+        MachineSpec(l1_bytes=1 << 20, l2_bytes=1 << 10)
+
+
+def test_validation_rejects_nonpositive_latency():
+    with pytest.raises(ValueError):
+        MachineSpec(dram_ns=0.0)

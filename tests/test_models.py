@@ -1,0 +1,281 @@
+"""CDF models: prediction semantics, monotonicity, error bounds, and the
+bit-for-bit agreement between scalar and batch prediction paths that the
+Shift-Table build/query consistency depends on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load
+from repro.models import (
+    FunctionModel,
+    InterpolationModel,
+    LinearModel,
+    PGMModel,
+    RadixSplineModel,
+    RMIModel,
+    partition_index,
+    partition_index_batch,
+    predicted_index,
+    predicted_index_batch,
+)
+
+from conftest import sorted_uint_arrays
+
+N = 30_000
+
+
+def all_models(keys):
+    return [
+        InterpolationModel(keys),
+        LinearModel(keys),
+        RMIModel(keys, num_leaves=256, root="linear"),
+        RMIModel(keys, num_leaves=256, root="radix"),
+        RMIModel(keys, num_leaves=128, root="cubic"),
+        RadixSplineModel(keys, epsilon=16, radix_bits=10),
+        PGMModel(keys, epsilon=32),
+    ]
+
+
+# ----------------------------------------------------------------------
+# clamping helpers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("pos,n,expected", [
+    (-5.0, 100, 0), (0.0, 100, 0), (0.9, 100, 0),
+    (50.4, 100, 50), (99.0, 100, 99), (105.3, 100, 99),
+])
+def test_predicted_index_clamps(pos, n, expected):
+    assert predicted_index(pos, n) == expected
+
+
+def test_predicted_index_batch_matches_scalar():
+    pos = np.asarray([-5.0, 0.0, 0.9, 50.4, 99.0, 105.3])
+    batch = predicted_index_batch(pos, 100)
+    scalar = [predicted_index(float(p), 100) for p in pos]
+    assert list(batch) == scalar
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pos=st.floats(-1e6, 1e9, allow_nan=False),
+    n=st.integers(1, 1 << 30),
+    m_frac=st.integers(1, 100),
+)
+def test_partition_index_scalar_batch_agree(pos, n, m_frac):
+    """Build (batch) and query (scalar) must bucket identically."""
+    m = max(n // m_frac, 1)
+    scalar = partition_index(pos, n, m)
+    batch = int(partition_index_batch(np.asarray([pos]), n, m)[0])
+    assert scalar == batch
+    assert 0 <= scalar < m
+
+
+# ----------------------------------------------------------------------
+# per-model contracts
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def face_keys():
+    return load("face64", N, seed=11)
+
+
+def test_interpolation_model_endpoints(face_keys):
+    model = InterpolationModel(face_keys)
+    assert model.predict_pos(face_keys[0]) == pytest.approx(0.0)
+    assert model.predict_pos(face_keys[-1]) == pytest.approx(N, rel=1e-9)
+    assert model.is_monotone
+
+
+def test_interpolation_model_degenerate_constant_data():
+    keys = np.full(10, 42, dtype=np.uint64)
+    model = InterpolationModel(keys)
+    assert model.predict_pos(42) == 0.0
+
+
+def test_linear_model_fits_line_exactly():
+    keys = (np.arange(1000, dtype=np.uint64) * 7 + 3).astype(np.uint64)
+    model = LinearModel(keys)
+    pred = model.predict_pos_batch(keys)
+    assert np.abs(pred - np.arange(1000)).max() < 1e-6
+    assert model.is_monotone
+
+
+def test_function_model_wraps_callable():
+    model = FunctionModel(lambda x: x / 10.0, 100)
+    assert model.predict_pos(771) == pytest.approx(77.1)
+    batch = model.predict_pos_batch(np.asarray([771, 782]))
+    assert batch == pytest.approx([77.1, 78.2])
+
+
+@pytest.mark.parametrize("root", ["linear", "radix", "cubic"])
+def test_rmi_error_bounds_cover_training_keys(face_keys, root):
+    model = RMIModel(face_keys, num_leaves=512, root=root)
+    pred = model.predict_pos_batch(face_keys)
+    truth = np.arange(N, dtype=np.float64)
+    err = truth - pred
+    for i in range(0, N, 997):
+        lo, hi = model.error_bounds(face_keys[i])
+        assert lo - 1 <= err[i] <= hi + 1
+
+
+def test_rmi_scalar_batch_agree(face_keys):
+    model = RMIModel(face_keys, num_leaves=512)
+    sample = face_keys[:: N // 200]
+    batch = model.predict_pos_batch(sample)
+    scalar = np.asarray([model.predict_pos(k) for k in sample])
+    assert np.array_equal(batch, scalar)
+
+
+def test_rmi_reports_nonmonotone():
+    keys = load("face64", N, seed=11)
+    assert not RMIModel(keys, num_leaves=64).is_monotone
+
+
+def test_rmi_rejects_bad_args(face_keys):
+    with pytest.raises(ValueError):
+        RMIModel(face_keys, num_leaves=0)
+    with pytest.raises(ValueError):
+        RMIModel(face_keys, root="quadratic")
+
+
+def test_rmi_mean_error_decreases_with_leaves(face_keys):
+    small = RMIModel(face_keys, num_leaves=64)
+    big = RMIModel(face_keys, num_leaves=2048)
+    assert big.mean_abs_error < small.mean_abs_error
+
+
+def float_group_runs(keys):
+    """Distinct float64 key values, their first slot, and run length.
+
+    64-bit keys closer than one float64 ulp are indistinguishable to any
+    double-based model (RS, PGM, RMI all are — like SOSD's C++ doubles),
+    so error guarantees can only be stated per float-distinct key.
+    """
+    unique, first = np.unique(keys, return_index=True)
+    as_float = unique.astype(np.float64)
+    _, grp_first, grp_counts = np.unique(
+        as_float, return_index=True, return_counts=True
+    )
+    # run length in *slots*: from the group's first slot to the next group's
+    n = len(keys)
+    starts = first[grp_first]
+    runs = np.diff(np.concatenate([starts, [n]]))
+    return as_float[grp_first], starts, runs
+
+
+@pytest.mark.parametrize("epsilon", [4, 16, 64])
+def test_radix_spline_epsilon_guarantee(face_keys, epsilon):
+    """ε-corridor guarantee per float-distinct key, modulo collapsed runs.
+
+    A vertical run of r rows at one float key cannot be predicted within
+    ±ε by any function of the key when r > 2ε; the achievable bound is
+    ε + r, and the validated last-mile search absorbs the rest.
+    """
+    model = RadixSplineModel(face_keys, epsilon=epsilon, radix_bits=10)
+    fkeys, first, runs = float_group_runs(face_keys)
+    pred = model.predict_pos_batch(fkeys)
+    err = np.abs(pred - first)
+    assert bool(np.all(err <= epsilon + runs + 1e-6))
+
+
+def test_radix_spline_epsilon_strict_on_32bit():
+    """No float collapse on 32-bit keys: the strict ±ε guarantee holds."""
+    keys = load("face32", N, seed=11)
+    model = RadixSplineModel(keys, epsilon=4, radix_bits=10)
+    unique, first = np.unique(keys, return_index=True)
+    pred = model.predict_pos_batch(unique)
+    assert np.abs(pred - first).max() <= 4 + 1e-6
+
+
+def test_radix_spline_monotone_batch(face_keys):
+    model = RadixSplineModel(face_keys, epsilon=16, radix_bits=10)
+    sample = np.sort(
+        np.random.default_rng(0).integers(
+            int(face_keys[0]), int(face_keys[-1]), 2000
+        ).astype(np.uint64)
+    )
+    pred = model.predict_pos_batch(sample)
+    assert bool(np.all(np.diff(pred) >= 0))
+    assert model.check_monotone(sample)
+
+
+def test_radix_spline_scalar_batch_bitwise_equal(face_keys):
+    model = RadixSplineModel(face_keys, epsilon=16, radix_bits=10)
+    sample = np.concatenate([face_keys[::371], face_keys[::373] + 1])
+    batch = model.predict_pos_batch(sample)
+    scalar = np.asarray([model.predict_pos(k) for k in sample])
+    assert np.array_equal(batch, scalar)
+
+
+def test_radix_spline_constant_data():
+    keys = np.full(100, 42, dtype=np.uint64)
+    model = RadixSplineModel(keys, epsilon=4, radix_bits=4)
+    assert model.predict_pos(42) == 0.0
+    assert model.predict_pos(41) == 0.0
+
+
+def test_radix_spline_spline_points_grow_with_precision(face_keys):
+    loose = RadixSplineModel(face_keys, epsilon=256, radix_bits=10)
+    tight = RadixSplineModel(face_keys, epsilon=4, radix_bits=10)
+    assert tight.num_spline_points > loose.num_spline_points
+
+
+def test_radix_spline_rejects_bad_args(face_keys):
+    with pytest.raises(ValueError):
+        RadixSplineModel(face_keys, epsilon=0)
+    with pytest.raises(ValueError):
+        RadixSplineModel(face_keys, radix_bits=0)
+
+
+@pytest.mark.parametrize("epsilon", [8, 64])
+def test_pgm_epsilon_guarantee(face_keys, epsilon):
+    model = PGMModel(face_keys, epsilon=epsilon)
+    fkeys, first, runs = float_group_runs(face_keys)
+    pred = model.predict_pos_batch(fkeys)
+    err = np.abs(pred - first)
+    assert bool(np.all(err <= epsilon + runs + 1e-6))
+
+
+def test_pgm_epsilon_strict_on_32bit():
+    keys = load("face32", N, seed=11)
+    model = PGMModel(keys, epsilon=16)
+    unique, first = np.unique(keys, return_index=True)
+    pred = model.predict_pos_batch(unique)
+    assert np.abs(pred - first).max() <= 16 + 1e-6
+
+
+def test_pgm_scalar_batch_agree(face_keys):
+    model = PGMModel(face_keys, epsilon=32)
+    sample = np.concatenate([face_keys[::419], face_keys[::421] + 1])
+    batch = model.predict_pos_batch(sample)
+    scalar = np.asarray([model.predict_pos(k) for k in sample])
+    assert np.array_equal(batch, scalar)
+
+
+def test_pgm_levels_shrink(face_keys):
+    model = PGMModel(face_keys, epsilon=32)
+    sizes = [len(level) for level in model.levels]
+    assert all(a > b for a, b in zip(sizes, sizes[1:]))
+    assert sizes[-1] <= 2 * model.epsilon_internal + 2
+
+
+def test_pgm_rejects_bad_args(face_keys):
+    with pytest.raises(ValueError):
+        PGMModel(face_keys, epsilon=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=8, max_size=300))
+def test_property_models_predict_finite(keys):
+    for model in (
+        InterpolationModel(keys),
+        LinearModel(keys),
+        RadixSplineModel(keys, epsilon=4, radix_bits=4),
+    ):
+        pred = model.predict_pos_batch(keys)
+        assert np.all(np.isfinite(pred))
+
+
+def test_size_bytes_positive(face_keys):
+    for model in all_models(face_keys):
+        assert model.size_bytes() > 0

@@ -1,0 +1,123 @@
+"""Range-query engine: §3.2 operators, clustered scans, explain traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact import CompactShiftTable
+from repro.core.corrected_index import CorrectedIndex
+from repro.core.range_query import RangeQueryEngine
+from repro.core.records import SortedData
+from repro.core.shift_table import ShiftTable
+from repro.datasets import load
+from repro.models import InterpolationModel
+
+from conftest import sorted_uint_arrays
+
+N = 20_000
+
+
+def engine_for(keys, layer_kind="r"):
+    data = SortedData(keys)
+    model = InterpolationModel(keys)
+    if layer_kind == "r":
+        layer = ShiftTable.build(keys, model)
+    elif layer_kind == "s":
+        layer = CompactShiftTable.build(keys, model)
+    else:
+        layer = None
+    return RangeQueryEngine(CorrectedIndex(data, model, layer))
+
+
+@pytest.fixture(scope="module")
+def wiki_engine():
+    return engine_for(load("wiki64", N, seed=51))
+
+
+def test_lower_and_upper_bound_semantics():
+    keys = np.asarray([2, 4, 4, 4, 9], dtype=np.uint64)
+    eng = engine_for(keys)
+    assert eng.lower_bound(4) == 1
+    assert eng.upper_bound(4) == 4  # one past the duplicate run
+    assert eng.equal_range(4) == (1, 4)
+    assert eng.equal_range(5) == (4, 4)  # absent key: empty run
+
+
+def test_upper_bound_at_domain_max():
+    max_val = np.iinfo(np.uint64).max
+    keys = np.asarray([5, max_val], dtype=np.uint64)
+    eng = engine_for(keys)
+    assert eng.upper_bound(max_val) == 2
+    assert eng.lower_bound(max_val) == 1
+
+
+def test_count_matches_brute_force(wiki_engine):
+    keys = wiki_engine.data.keys
+    rng = np.random.default_rng(3)
+    for _ in range(50):
+        lo, hi = np.sort(rng.choice(keys, 2))
+        expected = int(((keys >= lo) & (keys < hi)).sum())
+        assert wiki_engine.count(lo, hi) == expected
+    assert wiki_engine.count(keys[10], keys[10]) == 0
+    assert wiki_engine.count(keys[-1], keys[0]) == 0  # inverted range
+
+
+def test_scan_returns_clustered_slice(wiki_engine):
+    keys = wiki_engine.data.keys
+    lo, hi = keys[100], keys[5_000]
+    got = wiki_engine.scan(lo, hi)
+    expected = keys[(keys >= lo) & (keys < hi)]
+    assert np.array_equal(got, expected)
+    assert len(wiki_engine.scan(hi, lo)) == 0
+
+
+def test_scan_charges_sequential_access(wiki_engine):
+    from repro.hardware.hierarchy import MemoryHierarchy
+    from repro.hardware.machine import MachineSpec
+    from repro.hardware.tracker import SimTracker
+
+    keys = wiki_engine.data.keys
+    h = MemoryHierarchy(MachineSpec.paper().scaled_for(N, 16))
+    tracker = SimTracker(h)
+    wiki_engine.scan(keys[0], keys[-1], tracker)
+    # the full scan must touch on the order of n*record/line lines
+    assert h.stats.scan_lines > N // 8
+
+
+@pytest.mark.parametrize("layer_kind", ["r", "s", "none"])
+def test_explain_trace_fields(layer_kind):
+    keys = load("wiki64", N, seed=51)
+    eng = engine_for(keys, layer_kind)
+    q = keys[1234]
+    trace = eng.explain(q)
+    assert trace.result == int(np.searchsorted(keys, q))
+    assert trace.result_is_exact_match
+    assert 0 <= trace.predicted_index < N
+    if layer_kind == "r":
+        assert trace.window_start is not None
+        assert trace.window_start <= trace.result <= (
+            trace.window_start + trace.window_width + 1
+        )
+    elif layer_kind == "s":
+        assert trace.corrected_point is not None
+    else:
+        assert trace.partition is None
+
+
+def test_explain_non_indexed_query():
+    keys = (np.arange(100, dtype=np.uint64) * 10).astype(np.uint64)
+    eng = engine_for(keys)
+    trace = eng.explain(55)
+    assert trace.result == 6
+    assert not trace.result_is_exact_match
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=2, max_size=200), seed=st.integers(0, 99))
+def test_property_count_consistent_with_bounds(keys, seed):
+    eng = engine_for(keys)
+    rng = np.random.default_rng(seed)
+    lo, hi = np.sort(rng.choice(keys, 2))
+    assert eng.count(lo, hi) == eng.lower_bound(hi) - eng.lower_bound(lo)
+    assert eng.upper_bound(lo) >= eng.lower_bound(lo)

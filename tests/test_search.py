@@ -1,0 +1,217 @@
+"""Correctness of every on-the-fly search algorithm, including property
+tests against ``np.searchsorted`` (the ground truth for lower_bound)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.hierarchy import MemoryHierarchy
+from repro.hardware.machine import MachineSpec
+from repro.hardware.tracker import SimTracker, alloc_region
+from repro.search import (
+    bounded_local_search,
+    exponential_lower_bound,
+    interpolation_lower_bound,
+    linear_around,
+    linear_lower_bound,
+    lower_bound,
+    lower_bound_batch,
+    tip_lower_bound,
+    unbounded_local_search,
+)
+
+from conftest import queries_for, sorted_uint_arrays
+
+
+REGION = alloc_region("search_tests", 8, 1 << 20)
+
+
+def truth(keys: np.ndarray, q) -> int:
+    return int(np.searchsorted(keys, q, side="left"))
+
+
+# ----------------------------------------------------------------------
+# fixed-case unit tests
+# ----------------------------------------------------------------------
+FIXED = np.asarray([2, 4, 4, 4, 9, 15, 15, 30], dtype=np.uint64)
+
+
+@pytest.mark.parametrize("q,expected", [
+    (0, 0), (2, 0), (3, 1), (4, 1), (5, 4), (9, 4),
+    (10, 5), (15, 5), (16, 7), (30, 7), (31, 8),
+])
+def test_binary_fixed(q, expected):
+    assert lower_bound(FIXED, REGION, q=q) == expected
+
+
+@pytest.mark.parametrize("q,expected", [
+    (0, 0), (4, 1), (9, 4), (31, 8),
+])
+def test_linear_fixed(q, expected):
+    assert linear_lower_bound(FIXED, REGION, q=q, lo=0, hi=len(FIXED)) == expected
+
+
+@pytest.mark.parametrize("start", [0, 3, 7])
+@pytest.mark.parametrize("q", [0, 2, 4, 9, 15, 16, 30, 31])
+def test_linear_around_any_start(start, q):
+    assert linear_around(FIXED, REGION, q=q, start=start) == truth(FIXED, q)
+
+
+@pytest.mark.parametrize("start", [0, 1, 4, 7])
+@pytest.mark.parametrize("q", [0, 2, 4, 9, 15, 16, 30, 31])
+def test_exponential_any_start(start, q):
+    assert exponential_lower_bound(FIXED, REGION, q=q, start=start) == truth(FIXED, q)
+
+
+def test_binary_subrange():
+    assert lower_bound(FIXED, REGION, q=9, lo=2, hi=6) == 4
+    assert lower_bound(FIXED, REGION, q=100, lo=2, hi=6) == 6  # all below q
+
+
+def test_binary_invalid_range_rejected():
+    with pytest.raises(ValueError):
+        lower_bound(FIXED, REGION, q=1, lo=5, hi=3)
+    with pytest.raises(ValueError):
+        linear_lower_bound(FIXED, REGION, q=1, lo=-1, hi=3)
+
+
+def test_empty_array():
+    empty = np.asarray([], dtype=np.uint64)
+    assert lower_bound(empty, REGION, q=5) == 0
+    assert exponential_lower_bound(empty, REGION, q=5, start=0) == 0
+    assert interpolation_lower_bound(empty, REGION, q=5) == 0
+    assert tip_lower_bound(empty, REGION, q=5) == 0
+
+
+def test_single_element():
+    one = np.asarray([7], dtype=np.uint64)
+    for fn in (
+        lambda q: lower_bound(one, REGION, q=q),
+        lambda q: exponential_lower_bound(one, REGION, q=q, start=0),
+        lambda q: interpolation_lower_bound(one, REGION, q=q),
+        lambda q: tip_lower_bound(one, REGION, q=q),
+        lambda q: linear_around(one, REGION, q=q, start=0),
+    ):
+        assert fn(6) == 0
+        assert fn(7) == 0
+        assert fn(8) == 1
+
+
+def test_lower_bound_batch_matches_searchsorted():
+    qs = np.asarray([0, 4, 10, 31], dtype=np.uint64)
+    assert np.array_equal(
+        lower_bound_batch(FIXED, qs), np.searchsorted(FIXED, qs)
+    )
+
+
+# ----------------------------------------------------------------------
+# bounded / unbounded local search
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("threshold", [0, 4, 100])
+def test_bounded_local_search_within_window(threshold):
+    keys = np.arange(0, 1000, 2, dtype=np.uint64)  # evens
+    for q in (100, 101, 499):
+        t = truth(keys, q)
+        got = bounded_local_search(
+            keys, REGION, q=q, start=t - 3, width=6, threshold=threshold
+        )
+        assert got == t
+
+
+def test_bounded_local_search_one_past_window():
+    # §3.1: a query above everything in the window resolves to one past it
+    keys = np.asarray([10, 20, 30, 40, 50], dtype=np.uint64)
+    got = bounded_local_search(keys, REGION, q=45, start=1, width=2)
+    assert got == 4  # first index after the [1..3] window
+    # and a query inside the window resolves within it
+    assert bounded_local_search(keys, REGION, q=35, start=1, width=2) == 3
+
+
+def test_bounded_local_search_window_past_end():
+    keys = np.asarray([10, 20, 30], dtype=np.uint64)
+    assert bounded_local_search(keys, REGION, q=99, start=5, width=3) == 3
+
+
+def test_unbounded_local_search_dispatch():
+    keys = np.arange(0, 1000, 2, dtype=np.uint64)
+    for q in (41, 40, 0, 1001):
+        t = truth(keys, q)
+        assert unbounded_local_search(
+            keys, REGION, q=q, start=max(t - 2, 0), expected_error=2
+        ) == t
+        assert unbounded_local_search(
+            keys, REGION, q=q, start=max(t - 200, 0), expected_error=1e6
+        ) == t
+
+
+# ----------------------------------------------------------------------
+# property tests: every algorithm == searchsorted on arbitrary inputs
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(keys=sorted_uint_arrays(), seed=st.integers(0, 1000))
+def test_property_full_searches_match_truth(keys, seed):
+    for q in queries_for(keys, seed, count=16):
+        expected = truth(keys, q)
+        assert lower_bound(keys, REGION, q=q) == expected
+        assert interpolation_lower_bound(keys, REGION, q=q) == expected
+        assert tip_lower_bound(keys, REGION, q=q) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=2),
+    start_frac=st.floats(0, 1),
+    seed=st.integers(0, 1000),
+)
+def test_property_point_searches_match_truth(keys, start_frac, seed):
+    start = int(start_frac * (len(keys) - 1))
+    for q in queries_for(keys, seed, count=8):
+        expected = truth(keys, q)
+        assert exponential_lower_bound(keys, REGION, q=q, start=start) == expected
+        assert linear_around(keys, REGION, q=q, start=start) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=4), seed=st.integers(0, 1000))
+def test_property_interpolation_probe_budget(keys, seed):
+    """Even with a probe budget of 1, IS must stay correct (binary tail)."""
+    for q in queries_for(keys, seed, count=8):
+        got = interpolation_lower_bound(keys, REGION, q=q, max_probes=1)
+        assert got == truth(keys, q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=4), seed=st.integers(0, 1000))
+def test_property_tip_probe_budget(keys, seed):
+    for q in queries_for(keys, seed, count=8):
+        assert tip_lower_bound(keys, REGION, q=q, max_probes=2) == truth(keys, q)
+
+
+# ----------------------------------------------------------------------
+# cost-shape sanity on the simulator
+# ----------------------------------------------------------------------
+def test_linear_scan_cost_grows_linearly():
+    keys = np.arange(200_000, dtype=np.uint64)
+    machine = MachineSpec(l1_bytes=8 * 64, l2_bytes=16 * 64, l3_bytes=32 * 64)
+    costs = []
+    for dist in (100, 1000):
+        h = MemoryHierarchy(machine)
+        t = SimTracker(h)
+        r = alloc_region(f"lin_{dist}", 8, len(keys))
+        linear_around(keys, r, t, q=keys[100_000 + dist], start=100_000)
+        costs.append(h.stats.total_ns)
+    assert costs[1] > costs[0] * 4  # ~linear growth
+
+
+def test_binary_cost_grows_logarithmically():
+    keys = np.arange(1 << 18, dtype=np.uint64)
+    machine = MachineSpec(l1_bytes=8 * 64, l2_bytes=16 * 64, l3_bytes=32 * 64)
+    costs = []
+    for width in (1 << 8, 1 << 16):
+        h = MemoryHierarchy(machine)
+        t = SimTracker(h)
+        r = alloc_region(f"bin_{width}", 8, len(keys))
+        lower_bound(keys, r, t, q=keys[width // 2], lo=0, hi=width)
+        costs.append(h.stats.total_ns)
+    assert costs[1] < costs[0] * 4  # log growth, not linear

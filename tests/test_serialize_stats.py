@@ -1,0 +1,124 @@
+"""Layer/model persistence and the §2.4/§3.6 dataset diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.compact import CompactShiftTable
+from repro.core.corrected_index import CorrectedIndex
+from repro.core.records import SortedData
+from repro.core.serialize import (
+    load_layer,
+    load_simple_model,
+    save_compact_shift_table,
+    save_shift_table,
+    save_simple_model,
+)
+from repro.core.shift_table import ShiftTable
+from repro.datasets import load
+from repro.datasets.stats import (
+    burstiness,
+    congestion_profile,
+    duplication_ratio,
+    gap_tail_index,
+)
+from repro.models import InterpolationModel, LinearModel
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return load("osmc64", N, seed=61)
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def test_shift_table_roundtrip(tmp_path, keys):
+    model = InterpolationModel(keys)
+    layer = ShiftTable.build(keys, model)
+    path = tmp_path / "layer.npz"
+    save_shift_table(layer, path)
+    loaded = load_layer(path)
+    assert isinstance(loaded, ShiftTable)
+    assert np.array_equal(loaded.deltas, layer.deltas)
+    assert np.array_equal(loaded.widths, layer.widths)
+    assert loaded.num_keys == layer.num_keys
+    # the re-attached layer answers queries identically (§3.9 detachable)
+    data = SortedData(keys)
+    index = CorrectedIndex(data, model, loaded)
+    qs = np.random.default_rng(0).choice(keys, 200)
+    assert np.array_equal(index.lookup_batch(qs), data.lower_bound_batch(qs))
+
+
+def test_compact_layer_roundtrip(tmp_path, keys):
+    model = InterpolationModel(keys)
+    layer = CompactShiftTable.build(keys, model, num_partitions=N // 10)
+    path = tmp_path / "compact.npz"
+    save_compact_shift_table(layer, path)
+    loaded = load_layer(path)
+    assert isinstance(loaded, CompactShiftTable)
+    assert np.array_equal(loaded.drifts, layer.drifts)
+    assert loaded.mean_abs_error == layer.mean_abs_error
+
+
+def test_load_layer_rejects_garbage(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, kind=np.asarray("mystery"), version=np.asarray(1))
+    with pytest.raises(ValueError):
+        load_layer(path)
+
+
+def test_simple_model_roundtrip(tmp_path, keys):
+    for model in (InterpolationModel(keys), LinearModel(keys)):
+        path = tmp_path / f"{model.name}.json"
+        save_simple_model(model, path)
+        loaded = load_simple_model(path)
+        sample = keys[:: N // 100]
+        assert np.array_equal(
+            loaded.predict_pos_batch(sample), model.predict_pos_batch(sample)
+        )
+
+
+def test_save_simple_model_rejects_big_models(tmp_path, keys):
+    from repro.models import RMIModel
+
+    with pytest.raises(TypeError):
+        save_simple_model(RMIModel(keys, 64), tmp_path / "rmi.json")
+
+
+# ----------------------------------------------------------------------
+# dataset diagnostics
+# ----------------------------------------------------------------------
+def test_duplication_ratio_matches_table2_pattern():
+    assert duplication_ratio(load("osmc64", N, seed=61)) > 0.0
+    assert duplication_ratio(load("face64", N, seed=61)) == 0.0
+    assert duplication_ratio(np.asarray([1], dtype=np.uint64)) == 0.0
+
+
+def test_gap_tail_heavier_for_real_world():
+    smooth = gap_tail_index(load("norm64", N, seed=61))
+    rough = gap_tail_index(load("face64", N, seed=61))
+    assert rough < smooth  # heavier tail = smaller exponent
+
+
+def test_gap_tail_small_input_is_nan():
+    out = gap_tail_index(np.arange(10, dtype=np.uint64))
+    assert np.isnan(out)
+
+
+def test_congestion_profile_flags_osmc(keys):
+    osmc = congestion_profile(keys)
+    uden = congestion_profile(load("uden64", N, seed=61))
+    assert osmc.max > uden.max
+    assert osmc.eq8_error > uden.eq8_error
+    assert osmc.is_congested
+    assert not uden.is_congested
+
+
+def test_burstiness_orders_datasets():
+    wiki = burstiness(load("wiki64", N, seed=61))
+    uden = burstiness(load("uden64", N, seed=61))
+    assert wiki > 2 * uden
+    with pytest.raises(ValueError):
+        burstiness(np.arange(10, dtype=np.uint64), buckets=100)

@@ -1,0 +1,188 @@
+"""The R-mode Shift-Table: the paper's core invariants.
+
+Central property (Algorithms 1-2, §3.1): for a monotone model and *any*
+query, the corrected window plus one slot contains the lower bound.  This
+is exercised with hypothesis over arbitrary data (duplicates included)
+and arbitrary monotone models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shift_table import ShiftTable, _entry_bytes
+from repro.datasets import load
+from repro.models import FunctionModel, InterpolationModel, LinearModel
+from repro.models.base import partition_index
+
+from conftest import queries_for, sorted_uint_arrays
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def wiki_keys():
+    return load("wiki64", N, seed=5)
+
+
+# ----------------------------------------------------------------------
+# construction invariants
+# ----------------------------------------------------------------------
+def test_default_m_equals_n(wiki_keys):
+    st_layer = ShiftTable.build(wiki_keys, InterpolationModel(wiki_keys))
+    assert st_layer.num_partitions == N
+
+
+def test_counts_sum_to_n(wiki_keys):
+    st_layer = ShiftTable.build(wiki_keys, InterpolationModel(wiki_keys))
+    assert int(st_layer.counts.sum()) == N
+
+
+def test_width_is_count_minus_one_at_full_resolution(wiki_keys):
+    """With M = N the window length equals the paper's C_k exactly."""
+    st_layer = ShiftTable.build(wiki_keys, InterpolationModel(wiki_keys))
+    occupied = st_layer.counts > 0
+    assert np.array_equal(
+        st_layer.widths[occupied], st_layer.counts[occupied] - 1
+    )
+
+
+def test_indexed_keys_fall_inside_window(wiki_keys):
+    model = InterpolationModel(wiki_keys)
+    st_layer = ShiftTable.build(wiki_keys, model)
+    pred = model.predict_pos_batch(wiki_keys)
+    starts, widths = st_layer.window_batch(pred)
+    truth = np.searchsorted(wiki_keys, wiki_keys, side="left")
+    assert bool(np.all(starts <= truth))
+    assert bool(np.all(truth <= starts + widths))
+
+
+def test_merged_partitions_cover_indexed_keys(wiki_keys):
+    model = InterpolationModel(wiki_keys)
+    st_layer = ShiftTable.build(wiki_keys, model, num_partitions=N // 100)
+    pred = model.predict_pos_batch(wiki_keys)
+    starts, widths = st_layer.window_batch(pred)
+    truth = np.searchsorted(wiki_keys, wiki_keys, side="left")
+    assert bool(np.all(starts <= truth))
+    assert bool(np.all(truth <= starts + widths))
+
+
+def test_build_rejects_mismatched_model(wiki_keys):
+    model = InterpolationModel(wiki_keys[: N // 2])
+    with pytest.raises(ValueError):
+        ShiftTable.build(wiki_keys, model)
+
+
+def test_build_rejects_empty():
+    with pytest.raises(ValueError):
+        ShiftTable.build(
+            np.asarray([], dtype=np.uint64),
+            InterpolationModel(np.asarray([1], dtype=np.uint64)),
+        )
+
+
+def test_build_rejects_bad_partition_count(wiki_keys):
+    with pytest.raises(ValueError):
+        ShiftTable.build(wiki_keys, InterpolationModel(wiki_keys), 0)
+
+
+# ----------------------------------------------------------------------
+# the Figure 5 worked example
+# ----------------------------------------------------------------------
+def figure5_layer():
+    """100 keys, model F_θ(x) = x/1000 (prediction = ⌊x/10⌋).
+
+    Figure 5's visible keys start 0,1,2,3,5,... with nothing in [10, 19]
+    (partition 1 is the paper's empty-partition example), and the keys
+    752..785 sit at positions 34..39.
+    """
+    fillers_low = [0, 1, 2, 3, 5] + [20 + i * 24 for i in range(29)]
+    visible = [752, 769, 770, 771, 782, 785]
+    fillers_high = [834 + j for j in range(100 - 34 - 6)]
+    keys = np.asarray(fillers_low + visible + fillers_high, dtype=np.uint64)
+    assert len(keys) == 100 and bool(np.all(np.diff(keys.astype(np.int64)) > 0))
+    model = FunctionModel(lambda x: x / 10.0, 100)
+    return keys, model, ShiftTable.build(keys, model)
+
+
+def test_figure5_query_771():
+    """Paper: query 771 -> k=77, Δ77=-41, C77=2, range [36, 37]."""
+    keys, model, layer = figure5_layer()
+    assert int(keys[36]) == 770 and int(keys[37]) == 771
+    pred = model.predict_pos(771)
+    assert int(pred) == 77
+    assert int(layer.deltas[77]) == -41
+    assert int(layer.counts[77]) == 2
+    start, width = layer.window(pred)
+    assert (start, start + width) == (36, 37)
+
+
+def test_figure5_empty_partition_query():
+    """Paper §3.1: a query in an empty partition lands on the next
+    non-empty partition's range (query 15 -> record 3 in Figure 5)."""
+    keys, model, layer = figure5_layer()
+    # partition 1 covers keys 10..19; Figure 5's data has none of them
+    assert int(layer.counts[1]) == 0
+    start, width = layer.window(model.predict_pos(15))
+    lb = int(np.searchsorted(keys, 15))
+    assert start <= lb <= start + width + 1
+
+
+# ----------------------------------------------------------------------
+# entry width selection (§3.9 last paragraph)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bound,expected", [
+    (100, 2), (127, 2), (128, 4), (30_000, 4), (40_000, 8), (1 << 33, 16),
+])
+def test_entry_bytes_scales_with_error(bound, expected):
+    assert _entry_bytes(bound, 0) == expected
+
+
+def test_size_bytes_uses_entry_width(wiki_keys):
+    layer = ShiftTable.build(wiki_keys, InterpolationModel(wiki_keys))
+    assert layer.size_bytes() == layer.num_partitions * layer.entry_bytes
+
+
+def test_accurate_model_needs_smaller_entries(wiki_keys):
+    im = ShiftTable.build(wiki_keys, InterpolationModel(wiki_keys))
+    # a least-squares line has far smaller drift on wiki than min/max IM
+    lsq = ShiftTable.build(wiki_keys, LinearModel(wiki_keys))
+    assert lsq.entry_bytes <= im.entry_bytes
+
+
+# ----------------------------------------------------------------------
+# expected window / repr
+# ----------------------------------------------------------------------
+def test_expected_window_positive(wiki_keys):
+    layer = ShiftTable.build(wiki_keys, InterpolationModel(wiki_keys))
+    assert layer.expected_window() >= 1.0
+
+
+# ----------------------------------------------------------------------
+# property test: the §3.1 correctness argument, arbitrary data & model
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=2, max_size=300),
+    slope_num=st.integers(1, 8),
+    m_div=st.sampled_from([1, 1, 1, 3, 10]),
+    seed=st.integers(0, 10_000),
+)
+def test_property_window_contains_lower_bound(keys, slope_num, m_div, seed):
+    n = len(keys)
+    span = float(keys[-1]) - float(keys[0])
+    scale = (n * slope_num / 8.0) / span if span > 0 else 0.0
+    k0 = float(keys[0])
+    model = FunctionModel(lambda x: (float(x) - k0) * scale, n)
+    layer = ShiftTable.build(keys, model, num_partitions=max(n // m_div, 1))
+    for q in queries_for(keys, seed, count=12):
+        truth = int(np.searchsorted(keys, q, side="left"))
+        start, width = layer.window(model.predict_pos(q))
+        if m_div == 1:
+            # M = N: the §3.1 guarantee is exact
+            assert start <= truth <= start + width + 1
+        else:
+            # merged partitions: guaranteed for indexed keys only
+            if q in keys:
+                assert start <= truth <= start + width + 1

@@ -1,0 +1,198 @@
+"""Tuning procedure (§3.9), error metrics (§3.5), and the §6 future-work
+Fenwick update extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.corrected_index import CorrectedIndex
+from repro.core.errors import error_stats, log2_error, signed_drift
+from repro.core.fenwick import FenwickTree, UpdatableCorrectedIndex
+from repro.core.records import SortedData
+from repro.core.shift_table import ShiftTable
+from repro.core.tuner import (
+    MIN_KEYS_PER_LEAF,
+    choose_compact_layer,
+    tune,
+    tune_radix_spline,
+    tune_rmi,
+)
+from repro.datasets import load
+from repro.models import InterpolationModel
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def face_data():
+    return SortedData(load("face64", N, seed=21), name="face64")
+
+
+@pytest.fixture(scope="module")
+def uden_data():
+    return SortedData(load("uden64", N, seed=21), name="uden64")
+
+
+# ----------------------------------------------------------------------
+# §3.9 tune()
+# ----------------------------------------------------------------------
+def test_tune_enables_layer_on_rough_data(face_data):
+    index, report = tune(face_data, InterpolationModel(face_data.keys))
+    assert report.layer_enabled
+    assert index.layer is not None
+    assert report.error_before > report.error_after
+
+
+def test_tune_disables_layer_on_trivial_data(uden_data):
+    index, report = tune(uden_data, InterpolationModel(uden_data.keys))
+    assert not report.layer_enabled  # IM is already exact on dense uniform
+    assert index.layer is None
+
+
+def test_tuned_index_is_correct(face_data):
+    index, _ = tune(face_data, InterpolationModel(face_data.keys))
+    queries = np.random.default_rng(0).choice(face_data.keys, 200)
+    assert np.array_equal(
+        index.lookup_batch(queries), face_data.lower_bound_batch(queries)
+    )
+
+
+def test_tune_rmi_respects_leaf_cap(face_data):
+    model, considered = tune_rmi(face_data)
+    assert model.num_leaves <= max(len(face_data) // MIN_KEYS_PER_LEAF, 2)
+    assert len(considered) >= 2
+    assert all("score_ns" in c for c in considered)
+
+
+def test_tune_radix_spline_prefers_low_eps_when_free(uden_data):
+    model, considered = tune_radix_spline(uden_data)
+    assert model.epsilon in (8, 32, 128)
+    assert len(considered) == 3
+
+
+def test_choose_compact_layer_respects_budget(face_data):
+    budget = 4 * N  # half of a full int-4 layer
+    layer = choose_compact_layer(
+        face_data, InterpolationModel(face_data.keys), budget
+    )
+    assert layer.size_bytes() <= budget
+
+
+# ----------------------------------------------------------------------
+# §3.5 error metrics
+# ----------------------------------------------------------------------
+def test_signed_drift_zero_for_perfect_model(uden_data):
+    drift = signed_drift(uden_data.keys, InterpolationModel(uden_data.keys))
+    assert np.abs(drift).max() <= 1
+
+
+def test_log2_error_of_zero_errors():
+    assert log2_error(np.zeros(10)) == 0.0
+
+
+def test_log2_error_scale():
+    # |err| = 7 everywhere -> log2(8) = 3 binary iterations
+    assert log2_error(np.full(10, 7)) == pytest.approx(3.0)
+
+
+def test_error_stats_keys():
+    stats = error_stats(np.asarray([-4, 0, 4, 100]))
+    assert stats["max_abs"] == 100
+    assert stats["mean_signed"] == pytest.approx(25.0)
+    assert set(stats) == {
+        "mean_abs", "median_abs", "p99_abs", "max_abs", "mean_signed", "log2",
+    }
+
+
+# ----------------------------------------------------------------------
+# Fenwick tree + updatable index (§6)
+# ----------------------------------------------------------------------
+def test_fenwick_prefix_sums_match_naive():
+    tree = FenwickTree(32)
+    naive = np.zeros(32, dtype=np.int64)
+    rng = np.random.default_rng(4)
+    for _ in range(100):
+        i = int(rng.integers(0, 32))
+        amount = int(rng.integers(-3, 4))
+        tree.add(i, amount)
+        naive[i] += amount
+    for i in range(33):
+        assert tree.prefix_sum(i) == naive[:i].sum()
+    assert tree.total() == naive.sum()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(-5, 5)), max_size=40
+    )
+)
+def test_property_fenwick_matches_naive(updates):
+    tree = FenwickTree(16)
+    naive = np.zeros(16, dtype=np.int64)
+    for i, amount in updates:
+        tree.add(i, amount)
+        naive[i] += amount
+    for i in range(17):
+        assert tree.prefix_sum(i) == naive[:i].sum()
+
+
+def test_fenwick_bounds():
+    tree = FenwickTree(8)
+    with pytest.raises(IndexError):
+        tree.add(8)
+    with pytest.raises(ValueError):
+        FenwickTree(0)
+    assert tree.prefix_sum(-1) == 0
+    assert tree.prefix_sum(100) == 0  # clamped to size, all zeros
+
+
+def updatable_index(keys):
+    data = SortedData(keys, name="upd")
+    model = InterpolationModel(keys)
+    base = CorrectedIndex(data, model, ShiftTable.build(keys, model))
+    return UpdatableCorrectedIndex(base)
+
+
+def test_updatable_lookup_tracks_merged_rank():
+    keys = load("wiki64", N, seed=21)
+    index = updatable_index(keys)
+    rng = np.random.default_rng(5)
+    lo, hi = int(keys.min()), int(keys.max())
+    inserts = (lo + (rng.random(300) * (hi - lo)).astype(np.uint64)).astype(
+        keys.dtype
+    )
+    for k in inserts:
+        index.insert(k)
+    assert len(index) == N + 300
+    merged = index.merged_keys()
+    assert bool(np.all(merged[1:] >= merged[:-1]))
+    probes = rng.choice(merged, 300)
+    expected = np.searchsorted(merged, probes, side="left")
+    got = np.asarray([index.lookup(q) for q in probes])
+    assert np.array_equal(got, expected)
+
+
+def test_updatable_merged_shift_counts_inserts_before():
+    keys = (np.arange(100, dtype=np.uint64) * 10).astype(np.uint64)
+    index = updatable_index(keys)
+    index.insert(np.uint64(55))  # lands at base position 6
+    index.insert(np.uint64(995))  # lands at the end
+    assert index.merged_shift(6) == 0
+    assert index.merged_shift(7) == 1
+    assert index.merged_shift(100) == 1
+    assert index.merged_shift(101) == 2
+
+
+def test_updatable_needs_merge_threshold():
+    keys = (np.arange(100, dtype=np.uint64) * 10).astype(np.uint64)
+    data = SortedData(keys)
+    model = InterpolationModel(keys)
+    base = CorrectedIndex(data, model, ShiftTable.build(keys, model))
+    index = UpdatableCorrectedIndex(base, merge_threshold=2)
+    assert not index.needs_merge()
+    index.insert(np.uint64(5))
+    index.insert(np.uint64(7))
+    assert index.needs_merge()
+    assert index.pending_inserts == 2

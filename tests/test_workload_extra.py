@@ -1,0 +1,139 @@
+"""Extra coverage: harness warm-up mechanics, latency-curve edge cases,
+and cross-mode layer consistency properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import measure_index, timed_build
+from repro.bench.methods import OnTheFlyIndex
+from repro.core.compact import CompactShiftTable
+from repro.core.records import SortedData
+from repro.core.shift_table import ShiftTable
+from repro.datasets import load
+from repro.hardware.machine import MachineSpec
+from repro.models import InterpolationModel
+from repro.search.binary import lower_bound
+
+from conftest import sorted_uint_arrays
+
+N = 20_000
+
+
+def test_measurement_is_deterministic_and_warmup_splits_queries():
+    """Same inputs give the same simulated numbers, and the warm-up
+    fraction controls how many queries are actually measured."""
+    keys = load("face64", N, seed=101)
+    data = SortedData(keys)
+    machine = MachineSpec.paper().scaled_for(N, data.record_bytes)
+    index = OnTheFlyIndex(data, lower_bound, "BS")
+    qs = np.random.default_rng(0).choice(keys, 256)
+    a = measure_index(index, data, qs, machine, warmup_fraction=0.5)
+    b = measure_index(index, data, qs, machine, warmup_fraction=0.5)
+    assert a.ns_per_lookup == b.ns_per_lookup
+    assert a.queries == 128
+    c = measure_index(index, data, qs, machine, warmup_fraction=0.25)
+    assert c.queries == 192
+
+
+def test_first_query_on_cold_caches_is_most_expensive():
+    """The steady-state §2.2 effect: a cold lookup costs more than the
+    average over a warmed stream."""
+    from repro.hardware.hierarchy import MemoryHierarchy
+    from repro.hardware.tracker import SimTracker
+
+    keys = load("face64", N, seed=101)
+    data = SortedData(keys)
+    machine = MachineSpec.paper().scaled_for(N, data.record_bytes)
+    hierarchy = MemoryHierarchy(machine)
+    tracker = SimTracker(hierarchy)
+    qs = np.random.default_rng(0).choice(keys, 200)
+    lower_bound(keys, data.region, tracker, qs[0])
+    first_cost = hierarchy.stats.total_ns
+    for q in qs[1:]:
+        lower_bound(keys, data.region, tracker, q)
+    avg_rest = (hierarchy.stats.total_ns - first_cost) / (len(qs) - 1)
+    assert first_cost > avg_rest
+
+
+def test_measure_index_single_query():
+    keys = load("uden32", N, seed=101)
+    data = SortedData(keys)
+    machine = MachineSpec.paper().scaled_for(N, data.record_bytes)
+    index = OnTheFlyIndex(data, lower_bound, "BS")
+    m = measure_index(index, data, keys[:1], machine)
+    assert m.queries == 1 and m.correct
+
+
+def test_timed_build_returns_result_and_time():
+    result, seconds = timed_build(sorted, [3, 1, 2])
+    assert result == [1, 2, 3]
+    assert seconds >= 0
+
+
+# ----------------------------------------------------------------------
+# cross-mode layer properties
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=4, max_size=250))
+def test_property_s_mode_point_inside_r_mode_window(keys):
+    """For occupied partitions at M=N, the S-mode corrected point always
+    lies inside (or at the edge of) the R-mode window: the mean of the
+    drifts is bracketed by their min and min+width."""
+    model = InterpolationModel(keys)
+    r = ShiftTable.build(keys, model)
+    s = CompactShiftTable.build(keys, model)
+    occupied = r.counts > 0
+    lo = r.deltas[occupied]
+    hi = r.deltas[occupied] + r.widths[occupied]
+    mid = s.drifts[occupied]
+    assert bool(np.all(lo <= mid))
+    assert bool(np.all(mid <= hi))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=4, max_size=250),
+    m_div=st.sampled_from([1, 2, 5]),
+)
+def test_property_window_totals_match_counts(keys, m_div):
+    """Partition counts always sum to N; at full resolution (M = N) the
+    occupied window length is exactly the paper's C_k.  (For M < N the
+    window is per-prediction relative, so C_k - 1 is not a lower bound.)"""
+    model = InterpolationModel(keys)
+    m = max(len(keys) // m_div, 1)
+    layer = ShiftTable.build(keys, model, num_partitions=m)
+    assert int(layer.counts.sum()) == len(keys)
+    occupied = layer.counts > 0
+    assert bool(np.all(layer.widths[occupied] >= 0))
+    if m == len(keys):
+        assert bool(
+            np.all(layer.widths[occupied] == layer.counts[occupied] - 1)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=2, max_size=200))
+def test_property_compact_sampling_never_breaks_lookup(keys):
+    """Even a 1-key sample build must leave the index exact (the search
+    is unbounded, the layer only guides it)."""
+    from repro.core.corrected_index import CorrectedIndex
+
+    model = InterpolationModel(keys)
+    layer = CompactShiftTable.build(keys, model, sample_size=1)
+    index = CorrectedIndex(SortedData(keys), model, layer)
+    probe = keys[len(keys) // 2]
+    assert index.lookup(probe) == int(np.searchsorted(keys, probe))
+
+
+def test_latency_curve_measure_skips_oversized_windows():
+    from repro.core.cost_model import measure_latency_curve
+
+    keys = load("uden32", 2000, seed=101)
+    machine = MachineSpec.paper().scaled_for(2000, 12)
+    curve = measure_latency_curve(
+        keys, machine, sizes=(1, 16, 256, 100_000), queries_per_size=16
+    )
+    # the 100k window exceeds n and must be dropped, leaving 3 points
+    assert len(curve.sizes) == 3
