@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Engine throughput: scalar-loop vs vectorized vs sharded queries/sec.
+
+Standalone script (not a pytest-benchmark target) so CI can smoke it:
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --n 100000
+
+Every mode is verified against ``searchsorted`` ground truth before it
+is timed; see :mod:`repro.bench.engine_throughput` for the driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench.engine_throughput import run_engine_throughput
+    from repro.bench.reporting import format_table
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.bench.engine_throughput import run_engine_throughput
+    from repro.bench.reporting import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1_000_000,
+                        help="keys in the dataset (default 1M)")
+    parser.add_argument("--queries", type=int, default=100_000,
+                        help="queries per batch (default 100k)")
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--dataset", default="uden64")
+    parser.add_argument("--model", default="interpolation")
+    parser.add_argument("--layer", default="R", choices=["R", "S", "none"])
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    rows = run_engine_throughput(
+        n=args.n,
+        num_queries=args.queries,
+        num_shards=args.shards,
+        dataset=args.dataset,
+        model=args.model,
+        layer=None if args.layer == "none" else args.layer,
+        seed=args.seed,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    table = [
+        [r["mode"], r["queries"], r["qps"], r["ns_per_lookup"],
+         r["speedup_vs_scalar"]]
+        for r in rows
+    ]
+    print(format_table(
+        ["mode", "queries", "qps", "ns/lookup", "speedup vs scalar"],
+        table,
+        title=(f"engine throughput — {args.dataset}, n={args.n:,}, "
+               f"model={args.model}, layer={args.layer}"),
+        float_digits=1,
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

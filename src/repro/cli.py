@@ -3,11 +3,13 @@
 Thin wrappers over the experiment drivers and diagnostics so the
 reproduction can be poked without writing Python:
 
-* ``table2``   — run Table 2 cells for chosen datasets/methods
-* ``fig``      — run one figure driver (2, 3, 6, 7, 9)
-* ``datasets`` — list datasets with their §2.4/§3.6 diagnostics
-* ``tune``     — run the §3.9 advisor on one dataset
-* ``explain``  — trace a single lookup through model + layer
+* ``table2``       — run Table 2 cells for chosen datasets/methods
+* ``fig``          — run one figure driver (2, 3, 6, 7, 9)
+* ``datasets``     — list datasets with their §2.4/§3.6 diagnostics
+* ``tune``         — run the §3.9 advisor on one dataset
+* ``explain``      — trace a single lookup through model + layer
+* ``engine-bench`` — scalar vs vectorized vs sharded batch throughput
+* ``engine-plan``  — EXPLAIN a query batch against a sharded index
 """
 
 from __future__ import annotations
@@ -166,6 +168,64 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=8,
+                        help="number of range shards (default 8)")
+    parser.add_argument("--model", default="interpolation",
+                        help="shard-local model factory name")
+    parser.add_argument("--layer", default="R", choices=["R", "S", "none"],
+                        help="correction layer mode per shard")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="thread-pool size for cross-shard execution")
+
+
+def _cmd_engine_bench(args: argparse.Namespace) -> int:
+    from .bench.engine_throughput import run_engine_throughput
+
+    rows = run_engine_throughput(
+        n=args.n or 1_000_000,
+        num_queries=args.queries or 100_000,
+        num_shards=args.shards,
+        dataset=args.dataset,
+        model=args.model,
+        layer=None if args.layer == "none" else args.layer,
+        seed=args.seed if args.seed is not None else 42,
+        workers=args.workers,
+    )
+    table = [
+        [r["mode"], r["queries"], r["qps"], r["ns_per_lookup"],
+         r["speedup_vs_scalar"]]
+        for r in rows
+    ]
+    print(format_table(
+        ["mode", "queries", "qps", "ns/lookup", "speedup vs scalar"],
+        table, title=f"engine throughput — {args.dataset}", float_digits=1,
+    ))
+    return 0
+
+
+def _cmd_engine_plan(args: argparse.Namespace) -> int:
+    from .datasets import load
+    from .engine import BatchExecutor, ShardedIndex
+
+    n = args.n or 200_000
+    num_queries = args.queries or 1024
+    seed = args.seed if args.seed is not None else 42
+    keys = load(args.dataset, n, seed)
+    index = ShardedIndex.build(
+        keys, args.shards, model=args.model,
+        layer=None if args.layer == "none" else args.layer,
+        name=args.dataset,
+    )
+    executor = BatchExecutor(index, workers=args.workers)
+    rng = np.random.default_rng(seed)
+    queries = rng.choice(keys, num_queries)
+    info = index.build_info()
+    print(", ".join(f"{k}={v}" for k, v in info.items()))
+    print(executor.explain(queries))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +258,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--query", default=None)
     _add_common(p)
     p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser("engine-bench",
+                       help="batch-engine throughput: scalar vs vectorized vs sharded")
+    p.add_argument("--dataset", default="uden64")
+    _add_engine_options(p)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_engine_bench)
+
+    p = sub.add_parser("engine-plan",
+                       help="EXPLAIN a query batch against a sharded index")
+    p.add_argument("--dataset", default="uden64")
+    _add_engine_options(p)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_engine_plan)
 
     return parser
 

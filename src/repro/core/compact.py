@@ -16,7 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
-from ..models.base import CDFModel, partition_index, partition_index_batch
+from ..models.base import (
+    CDFModel,
+    partition_index,
+    partition_index_batch,
+    predicted_index_batch,
+)
 from ..datasets.cdf import key_positions
 
 
@@ -88,7 +93,7 @@ class CompactShiftTable:
             pos = key_positions(data)
 
         pred_float = model.predict_pos_batch(sample)
-        pred = np.clip(pred_float.astype(np.int64), 0, n - 1)
+        pred = predicted_index_batch(pred_float, n)
         part = partition_index_batch(pred_float, n, m)
         drift = pos - pred
 
@@ -151,7 +156,7 @@ class CompactShiftTable:
         """Vectorised :meth:`correct` (no tracing)."""
         n = self.num_keys
         j = partition_index_batch(pred_float, n, self.num_partitions)
-        pred = np.clip(pred_float.astype(np.int64), 0, n - 1)
+        pred = predicted_index_batch(pred_float, n)
         return np.clip(pred + self.drifts[j], 0, n - 1)
 
     # ------------------------------------------------------------------

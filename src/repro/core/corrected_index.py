@@ -24,8 +24,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..hardware.tracker import NULL_TRACKER, NullTracker
-from ..models.base import CDFModel, predicted_index
+from ..models.base import CDFModel, predicted_index, predicted_index_batch
 from ..models.rmi import RMIModel
+from ..search.batch import validated_lower_bound_batch
 from ..search.exponential import exponential_lower_bound
 from ..search.local import (
     LINEAR_TO_BINARY_THRESHOLD,
@@ -33,7 +34,7 @@ from ..search.local import (
     unbounded_local_search,
 )
 from .compact import CompactShiftTable
-from .records import SortedData
+from .records import SortedData, normalize_query_dtype
 from .shift_table import ShiftTable
 
 
@@ -164,35 +165,81 @@ class CorrectedIndex:
             (self.lookup(q) for q in queries), dtype=np.int64, count=len(queries)
         )
 
-    def lookup_batch_fast(self, queries: np.ndarray) -> np.ndarray:
-        """Vectorised batch lookup for the R-mode monotone fast path.
+    def lookup_batch_vectorized(self, queries: np.ndarray) -> np.ndarray:
+        """Fully-vectorised batch lookup for every model/layer combination.
 
-        Predicts and windows the whole batch with numpy, then resolves
-        each window with a bounded ``searchsorted`` and verifies the
-        window edges exactly like :func:`validated_window_search` (so it
-        is correct for every model/layer combination).  Falls back to
-        the scalar path for configurations without an R-mode layer.
-        Typically ~10x faster than :meth:`lookup_batch` on large batches.
+        Runs the whole predict → correct → bounded-search pipeline as
+        numpy array passes (see :mod:`repro.search.batch`); there is no
+        per-query Python loop on any path.  Results are element-wise
+        identical to calling :meth:`lookup` per query:
+
+        * **R-mode** — batch windows from the layer, lane-parallel
+          bounded binary search, vectorised §3.8 edge validation.
+        * **S-mode** — batch point correction, searched through a window
+          of ± the layer's expected error with the same edge validation
+          recovering the outliers.
+        * **bare model with bounds** (RMI per-leaf, RS/PGM ±ε) — the
+          bounds become the batch windows.
+        * **boundless model** (IM, single line) — full-array
+          ``searchsorted`` (the vectorised stand-in for per-query
+          exponential search; same answers, no window to exploit).
         """
-        if not isinstance(self.layer, ShiftTable):
-            return self.lookup_batch(queries)
         keys = self.data.keys
         n = len(keys)
+        queries, oob_high = normalize_query_dtype(queries, keys.dtype)
+        if queries.size == 0:
+            return np.empty(0, dtype=np.int64)
+        result = self._lookup_batch_pipeline(keys, n, queries)
+        if oob_high is not None:
+            result[oob_high] = n
+        return result
+
+    def _lookup_batch_pipeline(
+        self, keys: np.ndarray, n: int, queries: np.ndarray
+    ) -> np.ndarray:
         pred = self.model.predict_pos_batch(queries)
-        starts, widths = self.layer.window_batch(pred)
-        lo = np.clip(starts, 0, n)
-        hi = np.clip(starts + widths + 1, lo, n)
-        out = np.empty(len(queries), dtype=np.int64)
-        for i, q in enumerate(queries):
-            a, b = int(lo[i]), int(hi[i])
-            r = a + int(np.searchsorted(keys[a:b], q, side="left"))
-            # edge validation (§3.8 / grossly mispredicted windows)
-            if r == a and a > 0 and keys[a - 1] >= q:
-                r = int(np.searchsorted(keys[:a], q, side="left"))
-            elif r == b and b < n and keys[b] < q:
-                r = b + int(np.searchsorted(keys[b:], q, side="left"))
-            out[i] = r
-        return out
+
+        if isinstance(self.layer, ShiftTable):
+            starts, widths = self.layer.window_batch(pred)
+            return validated_lower_bound_batch(keys, queries, starts, widths)
+
+        if isinstance(self.layer, CompactShiftTable):
+            corrected = self.layer.correct_batch(pred)
+            radius = max(int(np.ceil(self.layer.mean_abs_error)), 1)
+            widths = np.full(queries.shape, 2 * radius, dtype=np.int64)
+            return validated_lower_bound_batch(
+                keys, queries, corrected - radius, widths
+            )
+
+        bounds = self._model_bounds_batch(queries)
+        if bounds is not None:
+            err_lo, err_hi = bounds
+            starts = predicted_index_batch(pred, n) + err_lo
+            return validated_lower_bound_batch(
+                keys, queries, starts, err_hi - err_lo
+            )
+        return np.searchsorted(keys, queries, side="left").astype(np.int64)
+
+    def _model_bounds_batch(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Vectorised :meth:`_model_bounds` (per-lane signed bounds)."""
+        model = self.model
+        if isinstance(model, RMIModel):
+            return model.error_bounds_batch(queries)
+        error_bounds = getattr(model, "error_bounds", None)
+        if error_bounds is not None:
+            err_lo, err_hi = error_bounds()
+            shape = np.asarray(queries).shape
+            return (
+                np.full(shape, err_lo, dtype=np.int64),
+                np.full(shape, err_hi, dtype=np.int64),
+            )
+        return None
+
+    def lookup_batch_fast(self, queries: np.ndarray) -> np.ndarray:
+        """Alias for :meth:`lookup_batch_vectorized` (historical name)."""
+        return self.lookup_batch_vectorized(queries)
 
     # ------------------------------------------------------------------
     # accounting & tuning hooks

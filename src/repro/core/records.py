@@ -16,6 +16,45 @@ from ..hardware.machine import DEFAULT_PAYLOAD_BYTES
 from ..hardware.tracker import Region, alloc_region
 
 
+def normalize_query_dtype(
+    queries: np.ndarray, key_dtype
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Cast an integer query batch to the key dtype without wrap-around.
+
+    A mismatched integer dtype (int64 queries against uint64 keys) makes
+    ``searchsorted`` and vectorised comparisons promote both sides to
+    float64 — silently wrong above 2^53 — while a plain ``astype`` wraps
+    out-of-domain values (−5 becomes 2^64−5).  Instead, lanes below the
+    key dtype's range clamp to its minimum (their lower bound is 0
+    either way) and lanes above it are clamped *and flagged*: the
+    returned mask marks queries whose true lower bound is ``len(data)``,
+    for the caller to patch after the search.  Mask is ``None`` when no
+    lane overflows; non-integer queries pass through untouched.
+    """
+    queries = np.asarray(queries)
+    key_dtype = np.dtype(key_dtype)
+    if (
+        queries.dtype == key_dtype
+        or queries.dtype.kind not in "iu"
+        or key_dtype.kind not in "iu"
+    ):
+        return queries, None
+    key_info = np.iinfo(key_dtype)
+    query_info = np.iinfo(queries.dtype)
+    if query_info.min < key_info.min:
+        low = queries < key_info.min
+        if low.any():
+            queries = np.where(low, key_info.min, queries)
+    high = None
+    if query_info.max > key_info.max:
+        high = queries > key_info.max
+        if high.any():
+            queries = np.where(high, key_info.max, queries)
+        else:
+            high = None
+    return queries.astype(key_dtype), high
+
+
 class SortedData:
     """Sorted keys + implicit payloads, with a simulated memory region."""
 

@@ -28,7 +28,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
-from ..models.base import CDFModel, partition_index, partition_index_batch
+from ..models.base import (
+    CDFModel,
+    partition_index,
+    partition_index_batch,
+    predicted_index_batch,
+)
 from ..datasets.cdf import key_positions
 
 
@@ -95,7 +100,7 @@ class ShiftTable:
             raise ValueError("num_partitions must be positive")
 
         pred_float = model.predict_pos_batch(data)
-        pred = np.clip(pred_float.astype(np.int64), 0, n - 1)
+        pred = predicted_index_batch(pred_float, n)
         part = partition_index_batch(pred_float, n, m)
         pos = key_positions(data)  # lower-bound position of every slot (§3.2)
 
@@ -208,7 +213,7 @@ class ShiftTable:
         """Vectorised :meth:`window` (no tracing)."""
         n = self.num_keys
         j = partition_index_batch(pred_float, n, self.num_partitions)
-        pred = np.clip(pred_float.astype(np.int64), 0, n - 1)
+        pred = predicted_index_batch(pred_float, n)
         return pred + self.deltas[j], self.widths[j]
 
     # ------------------------------------------------------------------

@@ -1,0 +1,27 @@
+"""Sharded, vectorised batch-query engine (ROADMAP: scale the repro).
+
+Composes the repo's existing pieces end-to-end for throughput-oriented
+serving: :class:`ShardedIndex` range-partitions the keys and fits a
+shard-local model + Shift-Table correction per shard;
+:class:`BatchExecutor` routes, groups and executes whole query batches
+through the vectorised predict → correct → bounded-search pipeline;
+:class:`ExecutionPlan` is the inspectable EXPLAIN of a batch.
+
+>>> from repro.engine import ShardedIndex, BatchExecutor
+>>> index = ShardedIndex.build(keys, num_shards=8, model="interpolation")
+>>> positions = BatchExecutor(index).lookup_batch(queries)
+"""
+
+from .executor import MODES, BatchExecutor
+from .plan import ExecutionPlan, ShardSlice
+from .sharded import LAYER_MODES, ShardedIndex, snap_offsets
+
+__all__ = [
+    "BatchExecutor",
+    "ExecutionPlan",
+    "LAYER_MODES",
+    "MODES",
+    "ShardSlice",
+    "ShardedIndex",
+    "snap_offsets",
+]

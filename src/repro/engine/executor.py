@@ -1,0 +1,211 @@
+"""Batch query execution over a (sharded) corrected index.
+
+:class:`BatchExecutor` turns an array of point lookups or ``(lo, hi)``
+range queries into per-shard vectorised pipeline runs:
+
+1. **route** — one vectorised ``searchsorted`` assigns every query a
+   shard;
+2. **group** — a stable argsort gathers each shard's queries into one
+   contiguous chunk (cache-friendly, one model/layer pass per shard);
+3. **execute** — each chunk runs the shard's fully-vectorised
+   predict → correct → bounded-search pipeline
+   (:meth:`CorrectedIndex.lookup_batch_vectorized`), optionally across a
+   thread pool (numpy releases the GIL inside the heavy kernels);
+4. **scatter** — shard-local answers plus shard base offsets land back
+   in the original query order.
+
+``mode="scalar"`` keeps the per-query Python reference loop; it exists
+so benchmarks and tests can quantify exactly what vectorisation buys.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..core.compact import CompactShiftTable
+from ..core.corrected_index import CorrectedIndex
+from ..core.shift_table import ShiftTable
+from .plan import ExecutionPlan, ShardSlice
+from .sharded import ShardedIndex
+
+MODES = ("vectorized", "scalar")
+
+
+def _as_sharded(index: ShardedIndex | CorrectedIndex) -> ShardedIndex:
+    """Adopt a plain CorrectedIndex as a degenerate one-shard index."""
+    if isinstance(index, ShardedIndex):
+        return index
+    keys = index.data.keys
+    offsets = np.asarray([0, len(keys)], dtype=np.int64)
+    return ShardedIndex([index], offsets, keys, name=index.name)
+
+
+def _strategy_for(shard: CorrectedIndex) -> str:
+    """Last-mile strategy label the shard's configuration implies."""
+    if isinstance(shard.layer, ShiftTable):
+        return "R-window + bounded batch search"
+    if isinstance(shard.layer, CompactShiftTable):
+        return "S-point ± expected error"
+    if shard._model_bounds_batch(np.empty(0)) is not None:
+        return "model bounds + bounded batch search"
+    return "full searchsorted"
+
+
+class BatchExecutor:
+    """Routes, groups and executes query batches against an index."""
+
+    def __init__(
+        self,
+        index: ShardedIndex | CorrectedIndex,
+        mode: str = "vectorized",
+        workers: int | None = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.index = _as_sharded(index)
+        self.mode = mode
+        self.workers = int(workers) if workers else 1
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _get_pool(self) -> ThreadPoolExecutor:
+        """Lazily-created pool, reused across batches (serving hot path)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op if none was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, queries: np.ndarray) -> ExecutionPlan:
+        """Route a batch without executing it (the engine's EXPLAIN)."""
+        queries = np.asarray(queries)
+        index = self.index
+        slices: list[ShardSlice] = []
+        if queries.size:
+            shard_ids = index.route_batch(queries)
+            counts = np.bincount(shard_ids, minlength=index.num_shards)
+            for s in np.flatnonzero(counts):
+                shard = index.shards[int(s)]
+                assert shard is not None, "router targeted an empty shard"
+                expected = (
+                    shard.layer.expected_window()
+                    if isinstance(shard.layer, ShiftTable)
+                    else None
+                )
+                slices.append(
+                    ShardSlice(
+                        shard_id=int(s),
+                        num_queries=int(counts[s]),
+                        num_keys=len(shard.data),
+                        index_name=shard.name,
+                        strategy=_strategy_for(shard),
+                        expected_window=expected,
+                    )
+                )
+        return ExecutionPlan(
+            num_queries=int(queries.size),
+            num_shards=index.num_shards,
+            mode=self.mode,
+            workers=self.workers,
+            slices=slices,
+        )
+
+    def explain(self, queries: np.ndarray) -> str:
+        """Human-readable :meth:`plan` (mirrors the CLI output)."""
+        return self.plan(queries).describe()
+
+    # ------------------------------------------------------------------
+    # point lookups
+    # ------------------------------------------------------------------
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Global lower-bound position for every query, original order."""
+        # shards re-normalise their own chunks (and patch overflow lanes
+        # to exact answers), so the original queries pass through; only
+        # routing uses the clamped dtype view
+        queries = np.asarray(queries)
+        out = np.empty(queries.size, dtype=np.int64)
+        if queries.size == 0:
+            return out
+        if self.mode == "scalar":
+            index = self.index
+            for i, q in enumerate(queries):
+                out[i] = index.lookup(q)
+            return out
+
+        index = self.index
+        shard_ids = index.route_batch(queries)
+        order = np.argsort(shard_ids, kind="stable")
+        sorted_ids = shard_ids[order]
+        # chunk bounds: one contiguous run per touched shard
+        cut = np.flatnonzero(np.diff(sorted_ids)) + 1
+        chunk_bounds = np.concatenate(([0], cut, [len(order)]))
+
+        def run_chunk(a: int, b: int) -> None:
+            take = order[a:b]
+            s = int(sorted_ids[a])
+            shard = index.shards[s]
+            assert shard is not None, "router targeted an empty shard"
+            out[take] = shard.lookup_batch_vectorized(queries[take]) + int(
+                index.offsets[s]
+            )
+
+        spans = list(zip(chunk_bounds[:-1], chunk_bounds[1:]))
+        if self.workers > 1 and len(spans) > 1:
+            list(self._get_pool().map(lambda ab: run_chunk(*ab), spans))
+        else:
+            for a, b in spans:
+                run_chunk(a, b)
+        return out
+
+    # ------------------------------------------------------------------
+    # range queries
+    # ------------------------------------------------------------------
+    def range_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``[first, last)`` global positions per ``lo <= key < hi`` query.
+
+        Both bounds are independent global lower bounds, so a range may
+        straddle any number of shard cuts; inverted ranges come back
+        empty (``first == last``) like the scalar range engine.
+        """
+        lows = np.asarray(lows)
+        highs = np.asarray(highs)
+        if lows.shape != highs.shape:
+            raise ValueError("lows and highs must align")
+        first = self.lookup_batch(lows)
+        last = self.lookup_batch(highs)
+        # guard inverted ranges (hi <= lo): empty, anchored at first
+        bad = highs <= lows
+        last[bad] = first[bad]
+        return first, np.maximum(first, last)
+
+    def count_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Cardinality of every ``lo <= key < hi`` range."""
+        first, last = self.range_batch(lows, highs)
+        return last - first
+
+    def scan_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> list[np.ndarray]:
+        """Materialised key slices per range (clustered scans)."""
+        first, last = self.range_batch(lows, highs)
+        keys = self.index.keys
+        return [keys[a:b] for a, b in zip(first, last)]

@@ -1,0 +1,63 @@
+"""Execution plans: what the batch engine is about to do, and why.
+
+`plan()` is the engine's EXPLAIN — it routes a batch without executing
+it and reports, per touched shard, how many queries land there, which
+last-mile strategy the shard's model/layer combination implies, and the
+expected search-window size.  The CLI surfaces this via
+``python -m repro engine-plan``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One shard's share of a planned batch."""
+
+    shard_id: int
+    num_queries: int
+    num_keys: int
+    index_name: str
+    strategy: str
+    expected_window: float | None = None
+
+    def describe(self) -> str:
+        window = (
+            f", E[window]={self.expected_window:.1f}"
+            if self.expected_window is not None
+            else ""
+        )
+        return (
+            f"shard {self.shard_id:>4}: {self.num_queries:>8,} queries over "
+            f"{self.num_keys:>10,} keys via {self.index_name} "
+            f"[{self.strategy}{window}]"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Routing + strategy summary for one batch, before execution."""
+
+    num_queries: int
+    num_shards: int
+    mode: str
+    workers: int
+    slices: list[ShardSlice] = field(default_factory=list)
+
+    @property
+    def shards_touched(self) -> int:
+        return len(self.slices)
+
+    def describe(self) -> str:
+        lines = [
+            f"batch of {self.num_queries:,} queries over "
+            f"{self.num_shards} shard(s), mode={self.mode}, "
+            f"workers={self.workers}, touching {self.shards_touched} shard(s)"
+        ]
+        lines.extend(s.describe() for s in self.slices)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.describe()

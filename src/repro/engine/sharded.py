@@ -1,0 +1,237 @@
+"""Range-partitioned learned index: K shards, each model + correction.
+
+A :class:`ShardedIndex` splits one sorted key array into ``K``
+contiguous, equal-count ranges and builds an independent
+:class:`~repro.core.corrected_index.CorrectedIndex` (model + optional
+Shift-Table layer) over each.  Global positions are shard-local
+positions plus the shard's base offset, so every answer remains a global
+lower bound over the original array.
+
+Two invariants make the vectorised router exact:
+
+* **Run-aligned cuts** — tentative equal-count shard boundaries are
+  snapped left to the start of their duplicate run, so a run of equal
+  keys never straddles two shards and a routed lower bound is the
+  *global* lower bound.
+* **Empty-shard routing** — snapping (and ``K`` larger than the number
+  of distinct keys) can leave shards empty.  Interior empty shards get a
+  zero-width routing interval and are therefore unreachable; routes past
+  the last non-empty shard are clamped back to it, which answers
+  ``q > max(keys)`` with position ``n`` like the scalar path.
+
+Routing itself is one vectorised ``searchsorted`` over the ``K-1``
+boundary keys — the sharding analogue of the paper's "one memory lookup
+before the bounded search".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.compact import CompactShiftTable
+from ..core.corrected_index import CorrectedIndex
+from ..core.records import SortedData, normalize_query_dtype
+from ..core.shift_table import ShiftTable
+from ..hardware.machine import DEFAULT_PAYLOAD_BYTES
+from ..models.factory import ModelFactory, make_model
+
+#: Correction-layer modes a shard can be built with.
+LAYER_MODES = ("R", "S", None)
+
+
+def snap_offsets(keys: np.ndarray, num_shards: int) -> np.ndarray:
+    """Equal-count shard offsets, snapped to duplicate-run starts.
+
+    Returns ``num_shards + 1`` non-decreasing offsets with ``0`` first
+    and ``len(keys)`` last.  Offsets only ever move *left* (to the first
+    occurrence of the boundary key), so shards stay contiguous and
+    ordered; heavy duplication can collapse some shards to empty.
+    """
+    n = len(keys)
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    raw = np.linspace(0, n, num_shards + 1).round().astype(np.int64)
+    interior = raw[1:-1]
+    inside = (interior > 0) & (interior < n)
+    snapped = interior.copy()
+    if inside.any():
+        snapped[inside] = np.searchsorted(
+            keys, keys[interior[inside]], side="left"
+        )
+    offsets = np.empty(num_shards + 1, dtype=np.int64)
+    offsets[0] = 0
+    offsets[-1] = n
+    offsets[1:-1] = snapped
+    return offsets
+
+
+class ShardedIndex:
+    """K range shards, each a shard-local :class:`CorrectedIndex`."""
+
+    def __init__(
+        self,
+        shards: list[CorrectedIndex | None],
+        offsets: np.ndarray,
+        keys: np.ndarray,
+        name: str = "sharded",
+    ) -> None:
+        if len(shards) != len(offsets) - 1:
+            raise ValueError("need exactly one offset interval per shard")
+        self.shards = shards
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.keys = keys
+        self.name = name
+        self.num_shards = len(shards)
+        # routing considers non-empty shards only: empty shards (possible
+        # on any side once equal-count cuts are snapped to duplicate-run
+        # starts) own no keys and must never receive a query.  Boundary
+        # keys are the first key of every non-empty shard after the first;
+        # those offsets are < n by construction, so no sentinel is needed.
+        nonempty = np.flatnonzero(np.diff(self.offsets) > 0)
+        if len(nonempty) == 0:
+            raise ValueError("a ShardedIndex needs at least one key")
+        self._nonempty = nonempty
+        self._split_keys = keys[self.offsets[nonempty[1:]]]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        keys: np.ndarray,
+        num_shards: int,
+        model: str | ModelFactory = "interpolation",
+        layer: str | None = "R",
+        layer_partitions: int | None = None,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+        name: str = "sharded",
+    ) -> "ShardedIndex":
+        """Partition ``keys`` and fit a model (+ layer) per shard.
+
+        ``model`` is a factory name (see
+        :data:`~repro.models.factory.MODEL_FACTORIES`) or a callable
+        ``keys -> CDFModel``; ``layer`` selects the correction mode:
+        ``"R"`` (guaranteed-window :class:`ShiftTable`), ``"S"``
+        (compact :class:`CompactShiftTable`) or ``None`` (bare model).
+        ``layer_partitions`` is the paper's ``M`` per shard (default
+        ``M = N_shard``).
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 1 or len(keys) == 0:
+            raise ValueError("keys must be a non-empty 1-d sorted array")
+        if layer not in LAYER_MODES:
+            raise ValueError(f"layer must be one of {LAYER_MODES}, got {layer!r}")
+        offsets = snap_offsets(keys, num_shards)
+        shards: list[CorrectedIndex | None] = []
+        for s in range(num_shards):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            if hi <= lo:
+                shards.append(None)
+                continue
+            slice_keys = keys[lo:hi]
+            data = SortedData(
+                slice_keys, payload_bytes=payload_bytes, name=f"{name}_s{s}"
+            )
+            shard_model = make_model(model, slice_keys)
+            shard_layer: ShiftTable | CompactShiftTable | None = None
+            if layer == "R":
+                shard_layer = ShiftTable.build(
+                    slice_keys, shard_model, layer_partitions
+                )
+            elif layer == "S":
+                shard_layer = CompactShiftTable.build(
+                    slice_keys, shard_model, layer_partitions
+                )
+            shards.append(CorrectedIndex(data, shard_model, shard_layer))
+        return cls(shards, offsets, keys, name=name)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def normalize_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Routing view of a query batch in the key dtype (no wrap).
+
+        Below-domain lanes clamp to the first shard and above-domain
+        lanes to the last; the per-shard batch pipeline re-normalises
+        with the overflow mask and patches those lanes to exact answers.
+        """
+        return normalize_query_dtype(queries, self.keys.dtype)[0]
+
+    def route_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Shard id per query (vectorised; never an empty shard).
+
+        A query routes to the last non-empty shard whose first key is
+        ``<= q`` (the first non-empty shard when ``q`` precedes all
+        keys).  Because duplicate runs never straddle a cut, the shard's
+        local lower bound plus its base offset is the global lower bound.
+        """
+        queries = self.normalize_queries(queries)
+        route = np.searchsorted(self._split_keys, queries, side="right")
+        return self._nonempty[route]
+
+    def route(self, q) -> int:
+        """Shard id for one query."""
+        return int(self.route_batch(np.asarray([q]))[0])
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def lookup(self, q, tracker=None) -> int:
+        """Global lower-bound position of ``q`` (scalar reference path)."""
+        # same no-wrap normalization as the batch path: a forced-dtype
+        # cast of e.g. int64 -5 against uint64 keys would route (and
+        # compare) as 2^64-5
+        arr, oob_high = normalize_query_dtype(np.asarray([q]), self.keys.dtype)
+        if oob_high is not None and oob_high[0]:
+            return len(self.keys)
+        q = arr[0]
+        s = int(self.route_batch(arr)[0])
+        shard = self.shards[s]
+        assert shard is not None, "router targeted an empty shard"
+        if tracker is None:
+            return int(self.offsets[s]) + shard.lookup(q)
+        return int(self.offsets[s]) + shard.lookup(q, tracker)
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorised global lower bounds (group-by-shard, then batch).
+
+        Thin convenience over the engine pipeline; use
+        :class:`~repro.engine.executor.BatchExecutor` for planning,
+        parallelism and range queries.
+        """
+        from .executor import BatchExecutor
+
+        return BatchExecutor(self).lookup_batch(queries)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Keys per shard (zeros mark empty shards)."""
+        return np.diff(self.offsets)
+
+    def size_bytes(self) -> int:
+        """Model + layer footprint summed over shards (excludes data)."""
+        return sum(s.size_bytes() for s in self.shards if s is not None)
+
+    def build_info(self) -> dict[str, object]:
+        sizes = self.shard_sizes()
+        return {
+            "name": self.name,
+            "num_shards": self.num_shards,
+            "num_keys": len(self.keys),
+            "empty_shards": int((sizes == 0).sum()),
+            "min_shard": int(sizes.min()),
+            "max_shard": int(sizes.max()),
+            "index_bytes": self.size_bytes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedIndex(K={self.num_shards}, N={len(self.keys)}, "
+            f"empty={int((self.shard_sizes() == 0).sum())})"
+        )

@@ -13,6 +13,7 @@ from .base import (
     predicted_index,
     predicted_index_batch,
 )
+from .factory import MODEL_FACTORIES, ModelFactory, make_model
 from .histogram import HistogramModel
 from .interpolation import InterpolationModel
 from .linear import LinearModel
@@ -30,6 +31,9 @@ __all__ = [
     "RadixSplineModel",
     "PGMModel",
     "shrinking_cone_segments",
+    "MODEL_FACTORIES",
+    "ModelFactory",
+    "make_model",
     "predicted_index",
     "predicted_index_batch",
     "partition_index",

@@ -48,17 +48,22 @@ def partition_index(pos: float, n: int, m: int) -> int:
 
 
 def predicted_index_batch(pos: np.ndarray, n: int) -> np.ndarray:
-    """Vectorised :func:`predicted_index`."""
-    return np.clip(pos.astype(np.int64), 0, n - 1)
+    """Vectorised :func:`predicted_index`.
+
+    Clips in float space *before* the int cast: a wildly out-of-domain
+    query can predict beyond int64 range, and casting that is undefined
+    (numpy warns and yields INT64_MIN).
+    """
+    return np.clip(pos, 0, n - 1).astype(np.int64)
 
 
 def partition_index_batch(pos: np.ndarray, n: int, m: int) -> np.ndarray:
-    """Vectorised :func:`partition_index`."""
+    """Vectorised :func:`partition_index` (same pre-cast clip)."""
     if m == n:
         scaled = pos
     else:
         scaled = pos * (m / n)
-    return np.clip(scaled.astype(np.int64), 0, m - 1)
+    return np.clip(scaled, 0, m - 1).astype(np.int64)
 
 
 class CDFModel(ABC):

@@ -1,0 +1,70 @@
+"""Shard-local model fitting: build a model for an arbitrary key slice.
+
+The sharded engine fits one CDF model per shard, so model construction
+has to work for *any* slice size — from a single key up to millions —
+without the caller hand-tuning hyper-parameters per shard.  Each builder
+here scales its capacity knobs to the slice it is given (an RMI with
+4096 leaves over a 50-key shard is pure waste; a 1024-bucket histogram
+over 10 keys is ill-formed), which is exactly the per-partition tuning
+argument of the Google-scale learned-index follow-ups.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import CDFModel
+from .histogram import HistogramModel
+from .interpolation import InterpolationModel
+from .linear import LinearModel
+from .pgm import PGMModel
+from .radix_spline import RadixSplineModel
+from .rmi import RMIModel
+
+ModelFactory = Callable[[np.ndarray], CDFModel]
+
+
+def _rmi_for(keys: np.ndarray) -> RMIModel:
+    # ~64 keys per leaf, capped so tiny shards get tiny models
+    leaves = int(min(4096, max(1, len(keys) // 64)))
+    return RMIModel(keys, num_leaves=leaves)
+
+
+def _histogram_for(keys: np.ndarray) -> HistogramModel:
+    buckets = int(min(1024, max(1, len(keys) // 4)))
+    return HistogramModel(keys, buckets=buckets)
+
+
+def _radix_spline_for(keys: np.ndarray) -> RadixSplineModel:
+    # radix table sized to the shard: ~1 prefix per 4 keys, 2^18 cap
+    bits = max(1, min(18, int(max(len(keys) // 4, 2)).bit_length()))
+    return RadixSplineModel(keys, epsilon=32, radix_bits=bits)
+
+
+MODEL_FACTORIES: dict[str, ModelFactory] = {
+    "interpolation": InterpolationModel,
+    "linear": LinearModel,
+    "rmi": _rmi_for,
+    "pgm": PGMModel,
+    "radix_spline": _radix_spline_for,
+    "histogram": _histogram_for,
+}
+
+
+def make_model(kind: str | ModelFactory, keys: np.ndarray) -> CDFModel:
+    """Fit a model of ``kind`` to a sorted key slice (shard-local).
+
+    ``kind`` is a factory name from :data:`MODEL_FACTORIES` or any
+    callable ``keys -> CDFModel``.
+    """
+    if callable(kind):
+        return kind(keys)
+    try:
+        factory = MODEL_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown model kind {kind!r}; known: {sorted(MODEL_FACTORIES)}"
+        ) from None
+    return factory(keys)

@@ -97,10 +97,22 @@ class RMIModel(CDFModel):
             raw = ((c3 * t + c2) * t + c1) * t + c0
         else:
             base, shift = self._root_params
+            if keys.dtype.kind == "u":
+                # stay in uint64: keys >= 2^63 would wrap through int64
+                # and land in leaf 0 while the scalar path (exact Python
+                # ints) computes the true leaf
+                k = keys.astype(np.uint64)
+                b = np.uint64(base)
+                diff = np.where(k > b, k - b, np.uint64(0))
+                return np.minimum(
+                    diff >> np.uint64(shift), np.uint64(self.num_leaves - 1)
+                ).astype(np.int64)
             raw = (
                 (np.maximum(keys.astype(np.int64) - base, 0)) >> shift
             ).astype(np.float64)
-        return np.clip(raw.astype(np.int64), 0, self.num_leaves - 1)
+        # clip in float space before the cast (see predicted_index_batch):
+        # far out-of-domain keys overflow an int64 cast
+        return np.clip(raw, 0, self.num_leaves - 1).astype(np.int64)
 
     def _root_leaf(self, key: float) -> int:
         if self.root_kind == "linear":
@@ -201,6 +213,13 @@ class RMIModel(CDFModel):
         """Per-leaf signed error bounds (same cache line as the params)."""
         leaf = self._root_leaf(float(key))
         return int(self._err_lo[leaf]), int(self._err_hi[leaf])
+
+    def error_bounds_batch(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`error_bounds` (no tracing)."""
+        leaf = self._root_leaf_batch(keys)
+        return self._err_lo[leaf], self._err_hi[leaf]
 
     def size_bytes(self) -> int:
         root = 32

@@ -1,10 +1,13 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+Hypothesis strategies and query builders live in ``tests/helpers.py``
+(importable as ``helpers``); only pytest fixtures belong here.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import strategies as st
 
 from repro.core.records import SortedData
 from repro.hardware.tracker import alloc_region
@@ -32,35 +35,3 @@ def small_data(small_sorted_keys) -> SortedData:
 @pytest.fixture()
 def region():
     return alloc_region("test_region", 8, 4096)
-
-
-def sorted_uint_arrays(
-    min_size: int = 1,
-    max_size: int = 400,
-    max_value: int = (1 << 48) - 1,
-    allow_duplicates: bool = True,
-):
-    """Hypothesis strategy: sorted numpy uint64 arrays."""
-    elements = st.integers(min_value=0, max_value=max_value)
-    lists = st.lists(elements, min_size=min_size, max_size=max_size)
-    if not allow_duplicates:
-        lists = st.lists(
-            elements, min_size=min_size, max_size=max_size, unique=True
-        )
-
-    def to_array(values: list[int]) -> np.ndarray:
-        return np.sort(np.asarray(values, dtype=np.uint64))
-
-    return lists.map(to_array)
-
-
-def queries_for(keys: np.ndarray, rng_seed: int = 0, count: int = 64) -> np.ndarray:
-    """Deterministic mixed query set: stored keys, neighbours, extremes."""
-    rng = np.random.default_rng(rng_seed)
-    picks = rng.choice(keys, size=min(count, len(keys)))
-    neighbours = np.concatenate([picks, picks + 1, np.maximum(picks, 1) - 1])
-    lo, hi = int(keys.min()), int(keys.max())
-    extremes = np.asarray(
-        [0, lo, max(lo - 1, 0), hi, hi + 1], dtype=np.uint64
-    )
-    return np.concatenate([neighbours, extremes]).astype(keys.dtype)

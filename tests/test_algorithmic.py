@@ -17,7 +17,7 @@ from repro.algorithmic import (
 from repro.core.records import SortedData
 from repro.datasets import load
 
-from conftest import queries_for, sorted_uint_arrays
+from helpers import queries_for, sorted_uint_arrays
 
 N = 20_000
 

@@ -11,7 +11,7 @@ from repro.core.shift_table import ShiftTable
 from repro.datasets import load
 from repro.models import FunctionModel, InterpolationModel
 
-from conftest import sorted_uint_arrays
+from helpers import sorted_uint_arrays
 
 N = 20_000
 

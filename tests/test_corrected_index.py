@@ -26,7 +26,7 @@ from repro.models import (
     RMIModel,
 )
 
-from conftest import queries_for, sorted_uint_arrays
+from helpers import queries_for, sorted_uint_arrays
 
 N = 20_000
 REGION = alloc_region("ci_tests", 8, 1 << 20)

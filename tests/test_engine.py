@@ -1,0 +1,225 @@
+"""Batch engine vs the scalar reference path: element-wise identical.
+
+The acceptance bar for the engine is exactness, not plausibility: every
+position a :class:`BatchExecutor` returns must be bit-identical to what
+a per-query ``CorrectedIndex.lookup`` loop over the *unsharded* index
+produces — for every model, both correction modes and none, duplicate
+runs, and queries outside the key domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact import CompactShiftTable
+from repro.core.corrected_index import CorrectedIndex
+from repro.core.range_query import RangeQueryEngine
+from repro.core.records import SortedData
+from repro.core.shift_table import ShiftTable
+from repro.engine import BatchExecutor, ShardedIndex
+from repro.models import make_model
+
+from helpers import queries_for, sorted_uint_arrays
+
+MODELS = ["linear", "rmi", "pgm", "radix_spline", "histogram", "interpolation"]
+LAYERS = ["R", "S", None]
+
+
+def scalar_reference(keys: np.ndarray, model_kind: str, layer_mode,
+                     queries: np.ndarray) -> np.ndarray:
+    """Per-query loop over one unsharded CorrectedIndex (ground truth)."""
+    model = make_model(model_kind, keys)
+    if layer_mode == "R":
+        layer = ShiftTable.build(keys, model)
+    elif layer_mode == "S":
+        layer = CompactShiftTable.build(keys, model)
+    else:
+        layer = None
+    index = CorrectedIndex(SortedData(keys), model, layer)
+    return np.fromiter(
+        (index.lookup(q) for q in queries), dtype=np.int64, count=len(queries)
+    )
+
+
+def duplicate_heavy_keys(seed: int, n: int = 3_000) -> np.ndarray:
+    """Sorted keys where ~half the slots belong to fat duplicate runs."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 1 << 44, size=n // 2, dtype=np.uint64)
+    runs = np.repeat(rng.choice(base, 16), n // 32)
+    keys = np.concatenate([base, runs])
+    keys.sort()
+    return keys
+
+
+@pytest.mark.parametrize("model_kind", MODELS)
+@pytest.mark.parametrize("layer_mode", LAYERS)
+@pytest.mark.parametrize("num_shards", [1, 5])
+def test_point_lookups_match_scalar_loop(model_kind, layer_mode, num_shards):
+    keys = duplicate_heavy_keys(seed=7)
+    queries = queries_for(keys, rng_seed=1, count=200)
+    want = scalar_reference(keys, model_kind, layer_mode, queries)
+
+    index = ShardedIndex.build(keys, num_shards, model=model_kind,
+                               layer=layer_mode)
+    got = BatchExecutor(index).lookup_batch(queries)
+    assert np.array_equal(got, want)
+    # and both agree with the global ground truth
+    assert np.array_equal(got, np.searchsorted(keys, queries, side="left"))
+
+
+@pytest.mark.parametrize("layer_mode", LAYERS)
+def test_range_queries_match_scalar_engine(layer_mode):
+    keys = duplicate_heavy_keys(seed=11)
+    rng = np.random.default_rng(2)
+    lows = rng.choice(keys, 150)
+    highs = lows + rng.integers(0, 1 << 40, 150, dtype=np.uint64)
+    # include inverted and empty ranges
+    lows[:10], highs[:10] = highs[:10], lows[:10].copy()
+
+    model = make_model("interpolation", keys)
+    layer = (ShiftTable.build(keys, model) if layer_mode == "R"
+             else CompactShiftTable.build(keys, model)
+             if layer_mode == "S" else None)
+    scalar_engine = RangeQueryEngine(CorrectedIndex(SortedData(keys), model, layer))
+    want_counts = np.asarray(
+        [scalar_engine.count(lo, hi) for lo, hi in zip(lows, highs)],
+        dtype=np.int64,
+    )
+    want_scans = [scalar_engine.scan(lo, hi) for lo, hi in zip(lows, highs)]
+
+    executor = BatchExecutor(
+        ShardedIndex.build(keys, 6, model="interpolation", layer=layer_mode)
+    )
+    got_counts = executor.count_batch(lows, highs)
+    assert np.array_equal(got_counts, want_counts)
+    for got, want in zip(executor.scan_batch(lows, highs), want_scans):
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=1, max_size=300),
+    seed=st.integers(0, 99),
+    num_shards=st.integers(1, 12),
+)
+def test_property_engine_exact_on_arbitrary_arrays(keys, seed, num_shards):
+    queries = queries_for(keys, rng_seed=seed, count=32)
+    index = ShardedIndex.build(keys, num_shards)
+    got = BatchExecutor(index).lookup_batch(queries)
+    assert np.array_equal(got, np.searchsorted(keys, queries, side="left"))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=2, max_size=200),
+    layer=st.sampled_from(LAYERS),
+)
+def test_property_engine_matches_scalar_loop(keys, layer):
+    queries = queries_for(keys, rng_seed=5, count=24)
+    want = scalar_reference(keys, "interpolation", layer, queries)
+    got = BatchExecutor(
+        ShardedIndex.build(keys, 3, layer=layer)
+    ).lookup_batch(queries)
+    assert np.array_equal(got, want)
+
+
+def test_out_of_range_and_extreme_queries():
+    keys = np.sort(
+        np.random.default_rng(3).integers(1 << 20, 1 << 40, 5_000,
+                                          dtype=np.uint64)
+    )
+    queries = np.asarray(
+        [0, 1, keys[0] - 1, keys[0], keys[-1], keys[-1] + 1,
+         np.iinfo(np.uint64).max],
+        dtype=np.uint64,
+    )
+    for layer in LAYERS:
+        got = BatchExecutor(
+            ShardedIndex.build(keys, 4, layer=layer)
+        ).lookup_batch(queries)
+        assert np.array_equal(got, np.searchsorted(keys, queries, side="left"))
+
+
+def test_scalar_mode_and_workers_agree_with_vectorized():
+    keys = duplicate_heavy_keys(seed=23, n=2_000)
+    queries = queries_for(keys, rng_seed=9, count=100)
+    index = ShardedIndex.build(keys, 4)
+    vectorized = BatchExecutor(index).lookup_batch(queries)
+    scalar = BatchExecutor(index, mode="scalar").lookup_batch(queries)
+    threaded = BatchExecutor(index, workers=3).lookup_batch(queries)
+    assert np.array_equal(vectorized, scalar)
+    assert np.array_equal(vectorized, threaded)
+
+
+def test_empty_batch_and_bad_arguments():
+    keys = np.arange(100, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 3)
+    executor = BatchExecutor(index)
+    assert executor.lookup_batch(np.empty(0, dtype=np.uint64)).size == 0
+    assert executor.plan(np.empty(0, dtype=np.uint64)).shards_touched == 0
+    with pytest.raises(ValueError):
+        BatchExecutor(index, mode="telepathic")
+    with pytest.raises(ValueError):
+        executor.range_batch(keys[:3], keys[:2])
+
+
+def test_plan_routes_every_query_once():
+    keys = duplicate_heavy_keys(seed=31, n=4_000)
+    queries = queries_for(keys, rng_seed=13, count=300)
+    executor = BatchExecutor(ShardedIndex.build(keys, 7), workers=2)
+    plan = executor.plan(queries)
+    assert plan.num_queries == len(queries)
+    assert sum(s.num_queries for s in plan.slices) == len(queries)
+    assert 1 <= plan.shards_touched <= 7
+    text = plan.describe()
+    assert "mode=vectorized" in text and "workers=2" in text
+    assert executor.explain(queries) == text
+
+
+def test_mismatched_integer_query_dtypes_stay_exact():
+    # int64 queries against uint64 keys above 2^53: a float64 promotion
+    # or a wrapping astype would both silently corrupt positions
+    keys = np.sort(
+        np.random.default_rng(41).integers(1 << 61, 1 << 63, 5_000,
+                                           dtype=np.uint64)
+    )
+    queries = np.concatenate(
+        [keys[:500].astype(np.int64) + 1, np.asarray([-5, -1, 0], np.int64)]
+    )
+    want = np.searchsorted(keys, np.maximum(queries, 0).astype(np.uint64),
+                           side="left")
+    for num_shards in (1, 6):
+        index = ShardedIndex.build(keys, num_shards)
+        got = BatchExecutor(index).lookup_batch(queries)
+        assert np.array_equal(got, want)
+        # negative queries precede every unsigned key
+        assert got[-3] == 0 and got[-2] == 0
+        # the scalar reference path must not wrap either
+        assert index.lookup(np.int64(-5)) == 0
+        assert index.lookup((1 << 64) - 1) == len(keys)
+        scalar = BatchExecutor(index, mode="scalar").lookup_batch(queries[-3:])
+        assert np.array_equal(scalar, got[-3:])
+
+    # uint64 queries against narrower uint32 keys: above-domain lanes
+    # must answer n, not wrap into the key domain
+    keys32 = np.sort(
+        np.random.default_rng(43).integers(0, 1 << 32, 2_000,
+                                           dtype=np.uint64)
+    ).astype(np.uint32)
+    wide = np.asarray([0, 1 << 20, (1 << 32) - 1, 1 << 40,
+                       np.iinfo(np.uint64).max], dtype=np.uint64)
+    got = BatchExecutor(ShardedIndex.build(keys32, 4)).lookup_batch(wide)
+    assert np.array_equal(got, np.searchsorted(keys32, wide, side="left"))
+    assert got[-1] == len(keys32) and got[-2] == len(keys32)
+
+
+def test_executor_accepts_bare_corrected_index():
+    keys = duplicate_heavy_keys(seed=37, n=1_500)
+    model = make_model("interpolation", keys)
+    index = CorrectedIndex(SortedData(keys), model, ShiftTable.build(keys, model))
+    queries = queries_for(keys, rng_seed=17, count=80)
+    got = BatchExecutor(index).lookup_batch(queries)
+    assert np.array_equal(got, np.searchsorted(keys, queries, side="left"))

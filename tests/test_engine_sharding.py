@@ -1,0 +1,170 @@
+"""Sharding edge cases: degenerate K, empty shards, straddling ranges.
+
+The router's correctness argument rests on two invariants — cuts are
+snapped to duplicate-run starts, and empty shards are unreachable —
+which these tests attack directly: K=1, K far beyond the number of
+distinct keys, all-equal key arrays, single-key arrays (leading empty
+shards), and range scans crossing several shard cuts at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BatchExecutor, ShardedIndex, snap_offsets
+
+from helpers import queries_for, sorted_uint_arrays
+
+
+def test_k1_is_degenerate_single_shard():
+    keys = np.sort(
+        np.random.default_rng(0).integers(0, 1 << 30, 2_000, dtype=np.uint64)
+    )
+    index = ShardedIndex.build(keys, 1)
+    assert index.num_shards == 1
+    assert np.array_equal(index.offsets, [0, len(keys)])
+    queries = queries_for(keys, rng_seed=1)
+    assert np.array_equal(
+        BatchExecutor(index).lookup_batch(queries),
+        np.searchsorted(keys, queries, side="left"),
+    )
+
+
+def test_k_exceeds_distinct_keys():
+    # 4 distinct keys, 10 shards: most shards must come out empty and
+    # the engine must still answer exactly
+    keys = np.asarray([3, 3, 3, 7, 7, 9, 9, 9, 9, 20], dtype=np.uint64)
+    index = ShardedIndex.build(keys, 10)
+    info = index.build_info()
+    assert info["empty_shards"] > 0
+    queries = np.asarray([0, 2, 3, 4, 7, 8, 9, 10, 20, 21, 1000],
+                         dtype=np.uint64)
+    assert np.array_equal(
+        BatchExecutor(index).lookup_batch(queries),
+        np.searchsorted(keys, queries, side="left"),
+    )
+
+
+def test_all_equal_keys():
+    keys = np.full(50, 42, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 8)
+    queries = np.asarray([0, 41, 42, 43], dtype=np.uint64)
+    assert np.array_equal(
+        BatchExecutor(index).lookup_batch(queries), [0, 0, 0, 50]
+    )
+
+
+def test_single_key_many_shards():
+    # leading empty shards: linspace cuts of n=1 into K=5 put the only
+    # key into a late shard; routing must still find it from both sides
+    keys = np.asarray([1000], dtype=np.uint64)
+    index = ShardedIndex.build(keys, 5)
+    queries = np.asarray([0, 999, 1000, 1001], dtype=np.uint64)
+    assert np.array_equal(
+        BatchExecutor(index).lookup_batch(queries), [0, 0, 0, 1]
+    )
+
+
+def test_router_never_targets_empty_shards():
+    keys = np.repeat(
+        np.asarray([5, 9, 9, 9, 14, 200], dtype=np.uint64), [7, 1, 1, 1, 2, 3]
+    )
+    keys.sort()
+    index = ShardedIndex.build(keys, 12)
+    sizes = index.shard_sizes()
+    queries = np.arange(0, 260, dtype=np.uint64)
+    shard_ids = index.route_batch(queries)
+    assert np.all(sizes[shard_ids] > 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=1, max_size=250),
+       num_shards=st.integers(1, 40))
+def test_property_snap_offsets_invariants(keys, num_shards):
+    offsets = snap_offsets(keys, num_shards)
+    n = len(keys)
+    assert offsets[0] == 0 and offsets[-1] == n
+    assert np.all(np.diff(offsets) >= 0)
+    # run alignment: no duplicate run straddles an interior cut
+    for o in offsets[1:-1]:
+        if 0 < o < n:
+            assert keys[o - 1] != keys[o]
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=1, max_size=200),
+       num_shards=st.integers(1, 25), seed=st.integers(0, 50))
+def test_property_routing_is_exact(keys, num_shards, seed):
+    index = ShardedIndex.build(keys, num_shards)
+    queries = queries_for(keys, rng_seed=seed, count=20)
+    got = BatchExecutor(index).lookup_batch(queries)
+    assert np.array_equal(got, np.searchsorted(keys, queries, side="left"))
+
+
+def test_range_scans_straddle_shard_boundaries():
+    # keys dense enough that modest ranges span several of the 16 shards
+    keys = np.sort(
+        np.random.default_rng(5).integers(0, 1 << 16, 8_000, dtype=np.uint64)
+    )
+    index = ShardedIndex.build(keys, 16)
+    executor = BatchExecutor(index)
+    rng = np.random.default_rng(6)
+    lows = rng.integers(0, 1 << 16, 100, dtype=np.uint64)
+    highs = lows + rng.integers(1, 1 << 14, 100, dtype=np.uint64)
+    first, last = executor.range_batch(lows, highs)
+    assert np.array_equal(first, np.searchsorted(keys, lows, side="left"))
+    assert np.array_equal(last, np.searchsorted(keys, highs, side="left"))
+    # at least one range must cross a shard cut for this test to bite
+    cuts = index.offsets[1:-1]
+    assert any(
+        np.any((cuts > a) & (cuts < b)) for a, b in zip(first, last)
+    )
+    for (a, b), scanned in zip(zip(first, last), executor.scan_batch(lows, highs)):
+        assert np.array_equal(scanned, keys[a:b])
+
+
+def test_duplicate_run_on_tentative_cut():
+    # a fat run planted exactly where the equal-count cut would fall:
+    # snapping must pull the cut to the run start
+    keys = np.concatenate([
+        np.arange(100, dtype=np.uint64),
+        np.full(100, 100, dtype=np.uint64),
+        np.arange(101, 201, dtype=np.uint64),
+    ])
+    index = ShardedIndex.build(keys, 3)
+    run_start = int(np.searchsorted(keys, 100))
+    for o in index.offsets[1:-1]:
+        assert not (run_start < o < run_start + 100)
+    queries = np.asarray([99, 100, 101, 150], dtype=np.uint64)
+    assert np.array_equal(
+        BatchExecutor(index).lookup_batch(queries),
+        np.searchsorted(keys, queries, side="left"),
+    )
+
+
+def test_build_rejects_bad_arguments():
+    keys = np.arange(10, dtype=np.uint64)
+    with pytest.raises(ValueError):
+        ShardedIndex.build(keys, 0)
+    with pytest.raises(ValueError):
+        ShardedIndex.build(np.empty(0, dtype=np.uint64), 2)
+    with pytest.raises(ValueError):
+        ShardedIndex.build(keys, 2, layer="Q")
+
+
+def test_shard_local_models_and_layers_per_shard():
+    keys = np.sort(
+        np.random.default_rng(8).integers(0, 1 << 40, 4_000, dtype=np.uint64)
+    )
+    index = ShardedIndex.build(keys, 4, model="rmi", layer="S")
+    built = [s for s in index.shards if s is not None]
+    assert len(built) == 4
+    assert len({id(s.model) for s in built}) == 4
+    for shard in built:
+        assert shard.model.num_keys == len(shard.data)
+        assert shard.layer is not None
+        assert shard.layer.num_keys == len(shard.data)
+    assert index.size_bytes() == sum(s.size_bytes() for s in built)

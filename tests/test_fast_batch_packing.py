@@ -12,7 +12,7 @@ from repro.core.shift_table import ShiftTable, pack_layer_arrays
 from repro.datasets import load
 from repro.models import InterpolationModel, RadixSplineModel, RMIModel
 
-from conftest import sorted_uint_arrays
+from helpers import sorted_uint_arrays
 
 N = 30_000
 

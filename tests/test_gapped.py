@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.core.gapped import GappedLearnedIndex
 from repro.datasets import load
 
-from conftest import sorted_uint_arrays
+from helpers import sorted_uint_arrays
 
 N = 20_000
 

@@ -21,7 +21,7 @@ from repro.models import (
     predicted_index_batch,
 )
 
-from conftest import sorted_uint_arrays
+from helpers import sorted_uint_arrays
 
 N = 30_000
 

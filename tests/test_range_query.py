@@ -13,7 +13,7 @@ from repro.core.shift_table import ShiftTable
 from repro.datasets import load
 from repro.models import InterpolationModel
 
-from conftest import sorted_uint_arrays
+from helpers import sorted_uint_arrays
 
 N = 20_000
 

@@ -21,7 +21,7 @@ from repro.search import (
     unbounded_local_search,
 )
 
-from conftest import queries_for, sorted_uint_arrays
+from helpers import queries_for, sorted_uint_arrays
 
 
 REGION = alloc_region("search_tests", 8, 1 << 20)

@@ -16,7 +16,7 @@ from repro.datasets import load
 from repro.models import FunctionModel, InterpolationModel, LinearModel
 from repro.models.base import partition_index
 
-from conftest import queries_for, sorted_uint_arrays
+from helpers import queries_for, sorted_uint_arrays
 
 N = 20_000
 

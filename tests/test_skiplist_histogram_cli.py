@@ -18,7 +18,7 @@ from repro.hardware.set_associative import (
 )
 from repro.models.histogram import HistogramModel
 
-from conftest import queries_for, sorted_uint_arrays
+from helpers import queries_for, sorted_uint_arrays
 
 N = 20_000
 

@@ -16,7 +16,7 @@ from repro.hardware.machine import MachineSpec
 from repro.models import InterpolationModel
 from repro.search.binary import lower_bound
 
-from conftest import sorted_uint_arrays
+from helpers import sorted_uint_arrays
 
 N = 20_000
 
