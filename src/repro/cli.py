@@ -10,6 +10,7 @@ reproduction can be poked without writing Python:
 * ``explain``      — trace a single lookup through model + layer
 * ``engine-bench`` — scalar vs vectorized vs sharded batch throughput
 * ``engine-plan``  — EXPLAIN a query batch against a sharded index
+* ``engine-update-bench`` — mixed read/write workload across backends
 """
 
 from __future__ import annotations
@@ -204,6 +205,42 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine_update_bench(args: argparse.Namespace) -> int:
+    from .bench.engine_updates import (
+        DEFAULT_WRITE_FRACTIONS,
+        run_engine_updates,
+    )
+
+    fractions = (
+        tuple(args.write_fractions) if args.write_fractions
+        else DEFAULT_WRITE_FRACTIONS
+    )
+    rows = run_engine_updates(
+        n=args.n or 100_000,
+        num_shards=args.shards,
+        dataset=args.dataset,
+        model=args.model,
+        layer=None if args.layer == "none" else args.layer,
+        backends=tuple(args.backends),
+        write_fractions=fractions,
+        ops=args.queries or 50_000,
+        seed=args.seed if args.seed is not None else 42,
+        workers=args.workers,
+    )
+    table = [
+        [r["backend"], r["write_fraction"], r["inserts"],
+         r["inserts_per_sec"], r["read_ns_per_lookup"], r["read_qps"],
+         r["final_shards"], r["pending_updates"], r["exact"]]
+        for r in rows
+    ]
+    print(format_table(
+        ["backend", "write frac", "inserts", "inserts/s", "read ns/op",
+         "read qps", "shards", "pending", "exact"],
+        table, title=f"engine updates — {args.dataset}", float_digits=2,
+    ))
+    return 0
+
+
 def _cmd_engine_plan(args: argparse.Namespace) -> int:
     from .datasets import load
     from .engine import BatchExecutor, ShardedIndex
@@ -215,7 +252,7 @@ def _cmd_engine_plan(args: argparse.Namespace) -> int:
     index = ShardedIndex.build(
         keys, args.shards, model=args.model,
         layer=None if args.layer == "none" else args.layer,
-        name=args.dataset,
+        name=args.dataset, backend=args.backend,
     )
     executor = BatchExecutor(index, workers=args.workers)
     rng = np.random.default_rng(seed)
@@ -269,9 +306,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("engine-plan",
                        help="EXPLAIN a query batch against a sharded index")
     p.add_argument("--dataset", default="uden64")
+    p.add_argument("--backend", default="static",
+                   choices=["static", "gapped", "fenwick"],
+                   help="shard storage backend")
     _add_engine_options(p)
     _add_common(p)
     p.set_defaults(fn=_cmd_engine_plan)
+
+    p = sub.add_parser(
+        "engine-update-bench",
+        help="mixed read/write workload: insert throughput + read latency "
+             "per shard backend and write fraction",
+    )
+    p.add_argument("--dataset", default="uden64")
+    p.add_argument("--backends", nargs="*",
+                   default=["static", "gapped", "fenwick"],
+                   help="shard backends to sweep")
+    p.add_argument("--write-fractions", nargs="*", type=float, default=None,
+                   help="write fractions to sweep (default 0/0.01/0.1/0.3)")
+    _add_engine_options(p)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_engine_update_bench)
 
     return parser
 

@@ -8,13 +8,15 @@ the Shift-Table".  This module builds that sketch as a working extension:
 * :class:`FenwickTree` — classic binary indexed tree over int64 counts;
 * :class:`UpdatableCorrectedIndex` — wraps a static
   :class:`~repro.core.corrected_index.CorrectedIndex` and absorbs inserts
-  into a sorted delta buffer, while a Fenwick tree over the base
-  positions counts how many inserted keys land before each base slot.
-  A lookup then returns the *merged* rank: the corrected base position
-  plus the Fenwick-estimated shift, which is exactly the lower bound in
-  the merged view of (base ∪ buffer).
+  into a sorted delta buffer and deletes into a sorted tombstone buffer,
+  while a Fenwick tree over the base positions tracks the *net* drift —
+  how many live keys each base slot has gained (inserts) or lost
+  (deletes) before it.  A lookup then returns the *merged* rank: the
+  corrected base position plus buffered inserts before the query minus
+  tombstoned keys before it, which is exactly the lower bound in the
+  live view of ``(base ∪ buffer) − deleted``.
 
-The buffer can be merged back (rebuilding model + layer) once it grows
+The buffers can be merged back (rebuilding model + layer) once they grow
 past a threshold, amortising rebuild cost — the usual delta-main design.
 """
 
@@ -26,6 +28,7 @@ import numpy as np
 
 from ..hardware.tracker import NULL_TRACKER, NullTracker, alloc_region
 from .corrected_index import CorrectedIndex
+from .records import normalize_query_dtype
 
 
 class FenwickTree:
@@ -70,60 +73,174 @@ class FenwickTree:
 class UpdatableCorrectedIndex:
     """Delta-main learned index with Fenwick drift correction (§6 sketch).
 
-    Inserted keys live in a sorted buffer; the Fenwick tree tracks, per
-    base position, how many buffered keys sort before it.  Lookups return
-    ranks in the merged view, so downstream range scans see a single
-    consistent ordering.
+    Inserted keys live in a sorted buffer, deleted base keys in a sorted
+    tombstone list; the Fenwick tree tracks the net per-base-position
+    drift.  Lookups return ranks in the live merged view, so downstream
+    range scans see a single consistent ordering.
     """
 
     def __init__(self, base: CorrectedIndex, merge_threshold: int = 4096) -> None:
         self.base = base
         self.merge_threshold = int(merge_threshold)
         self._buffer: list = []
+        self._deleted: list = []
+        self._buffer_arr: np.ndarray | None = None
+        self._deleted_arr: np.ndarray | None = None
         # one Fenwick slot per base gap (position 0..N inclusive)
         self._drift = FenwickTree(len(base.data) + 1)
         self.name = base.name + "+updates"
 
     def __len__(self) -> int:
-        return len(self.base.data) + len(self._buffer)
+        return len(self.base.data) + len(self._buffer) - len(self._deleted)
 
     @property
     def pending_inserts(self) -> int:
         return len(self._buffer)
 
+    @property
+    def pending_deletes(self) -> int:
+        return len(self._deleted)
+
+    @property
+    def pending_updates(self) -> int:
+        """Buffered mutations a merge would fold back into the base."""
+        return len(self._buffer) + len(self._deleted)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
     def insert(self, key, tracker: NullTracker = NULL_TRACKER) -> None:
         """Insert a key; O(log n) buffer + Fenwick maintenance."""
         base_pos = self.base.lookup(key, tracker)
         bisect.insort(self._buffer, key)
+        self._buffer_arr = None
         self._drift.add(base_pos, 1, tracker)
 
+    def delete(self, key, tracker: NullTracker = NULL_TRACKER) -> None:
+        """Delete one live occurrence of ``key`` (KeyError if absent).
+
+        A buffered (recently inserted) copy is removed from the buffer;
+        otherwise one base occurrence is tombstoned, provided the base
+        holds more copies of ``key`` than are already tombstoned.
+        """
+        i = bisect.bisect_left(self._buffer, key)
+        if i < len(self._buffer) and self._buffer[i] == key:
+            base_pos = self.base.lookup(key, tracker)
+            self._buffer.pop(i)
+            self._buffer_arr = None
+            self._drift.add(base_pos, -1, tracker)
+            return
+        base_keys = self.base.data.keys
+        lo = int(np.searchsorted(base_keys, key, side="left"))
+        hi = int(np.searchsorted(base_keys, key, side="right"))
+        already = bisect.bisect_right(self._deleted, key) - bisect.bisect_left(
+            self._deleted, key
+        )
+        if hi - lo - already <= 0:
+            raise KeyError(key)
+        bisect.insort(self._deleted, key)
+        self._deleted_arr = None
+        self._drift.add(lo, -1, tracker)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def lookup(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
-        """Lower-bound rank of ``q`` in the merged (base ∪ buffer) view."""
+        """Lower-bound rank of ``q`` in the live (base ∪ buffer − deleted) view."""
         base_pos = self.base.lookup(q, tracker)
         buffered_before = bisect.bisect_left(self._buffer, q)
+        deleted_before = bisect.bisect_left(self._deleted, q)
         tracker.instr(4 * max(1, len(self._buffer)).bit_length())
-        return base_pos + buffered_before
+        return base_pos + buffered_before - deleted_before
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`lookup`: one base pipeline pass + two
+        ``searchsorted`` passes over the (small) update buffers."""
+        key_dtype = self.base.data.keys.dtype
+        queries = np.asarray(queries)
+        base_pos = self.base.lookup_batch_vectorized(queries)
+        norm, oob_high = normalize_query_dtype(queries, key_dtype)
+        buffered = np.searchsorted(self._buffer_sorted(), norm, side="left")
+        deleted = np.searchsorted(self._deleted_sorted(), norm, side="left")
+        if oob_high is not None:
+            # above-domain lanes clamp to the dtype max during the
+            # buffer searches; their true prefix counts are "everything"
+            buffered[oob_high] = len(self._buffer)
+            deleted[oob_high] = len(self._deleted)
+        return base_pos + buffered - deleted
+
+    def _buffer_sorted(self) -> np.ndarray:
+        if self._buffer_arr is None:
+            self._buffer_arr = np.asarray(
+                self._buffer, dtype=self.base.data.keys.dtype
+            )
+        return self._buffer_arr
+
+    def _deleted_sorted(self) -> np.ndarray:
+        if self._deleted_arr is None:
+            self._deleted_arr = np.asarray(
+                self._deleted, dtype=self.base.data.keys.dtype
+            )
+        return self._deleted_arr
 
     def merged_shift(self, base_pos: int,
                      tracker: NullTracker = NULL_TRACKER) -> int:
-        """Fenwick-estimated drift: inserts landing before ``base_pos``.
+        """Fenwick-estimated net drift before ``base_pos``.
 
         This is the §6 estimate — how far the static model's prediction
-        has drifted because of updates — and equals the exact buffered
-        rank whenever no buffered key equals a base key at the boundary.
+        has drifted because of updates: inserts landing before the slot
+        count +1, tombstoned base keys before it count −1.
         """
         return self._drift.prefix_sum(base_pos, tracker)
 
     def needs_merge(self) -> bool:
-        return len(self._buffer) >= self.merge_threshold
+        return self.pending_updates >= self.merge_threshold
+
+    def min_key(self):
+        """Smallest live key without materialising the merged view.
+
+        Skips any fully-tombstoned prefix of the base (O(log n) per
+        skipped distinct value) and compares against the buffer head.
+        """
+        base_keys = self.base.data.keys
+        candidates = []
+        i = 0
+        while i < len(base_keys):
+            value = base_keys[i]
+            run_end = int(np.searchsorted(base_keys, value, side="right"))
+            tombstones = bisect.bisect_right(
+                self._deleted, value
+            ) - bisect.bisect_left(self._deleted, value)
+            if run_end - i > tombstones:
+                candidates.append(value)
+                break
+            i = run_end
+        if self._buffer:
+            candidates.append(self._buffer[0])
+        if not candidates:
+            raise ValueError("empty index has no minimum")
+        return min(candidates)
 
     def merged_keys(self) -> np.ndarray:
-        """Materialise the merged key array (used when rebuilding)."""
+        """Materialise the live key array (used when rebuilding)."""
         base_keys = self.base.data.keys
-        merged = np.empty(len(self), dtype=base_keys.dtype)
-        buffered = np.asarray(self._buffer, dtype=base_keys.dtype)
+        if self._deleted:
+            values, counts = np.unique(
+                self._deleted_sorted(), return_counts=True
+            )
+            keep = np.ones(len(base_keys), dtype=bool)
+            starts = np.searchsorted(base_keys, values, side="left")
+            for start, count in zip(starts, counts):
+                keep[start : start + int(count)] = False
+            base_keys = base_keys[keep]
+        if not self._buffer:
+            return base_keys.copy()
+        merged = np.empty(
+            len(base_keys) + len(self._buffer), dtype=base_keys.dtype
+        )
+        buffered = self._buffer_sorted()
         insert_at = np.searchsorted(base_keys, buffered, side="left")
-        mask = np.zeros(len(self), dtype=bool)
+        mask = np.zeros(len(merged), dtype=bool)
         mask[insert_at + np.arange(len(buffered))] = True
         merged[mask] = buffered
         merged[~mask] = base_keys

@@ -62,15 +62,26 @@ class RangeQueryEngine:
     def upper_bound(self, q, tracker: NullTracker = NULL_TRACKER) -> int:
         """Position one past the last record with key <= q.
 
-        Integer keys make this a single corrected lookup of ``q + 1``
-        (no duplicate-run scan needed); the key-domain maximum is handled
-        explicitly to avoid overflow.
+        A single corrected lookup of the successor of ``q`` in the key
+        domain (no duplicate-run scan needed): ``q + 1`` for integer
+        keys, ``nextafter(q, inf)`` for float keys.  The key-domain
+        maximum is handled explicitly to avoid overflow.
         """
         keys = self.data.keys
-        max_key = np.iinfo(keys.dtype).max
-        if int(q) >= int(max_key):
+        if keys.dtype.kind in "iu":
+            max_key = np.iinfo(keys.dtype).max
+            if int(q) >= int(max_key):
+                return len(keys)
+            return self.index.lookup(keys.dtype.type(int(q) + 1), tracker)
+        # float keys: the successor is the next representable value.
+        # NaN matches nothing but sorts after everything in searchsorted
+        # semantics; +inf (and the finite max) have no successor; -inf's
+        # successor is -finfo.max, which nextafter handles below.
+        q = keys.dtype.type(q)
+        if np.isnan(q) or q >= np.finfo(keys.dtype).max:
             return len(keys)
-        return self.index.lookup(keys.dtype.type(int(q) + 1), tracker)
+        return self.index.lookup(np.nextafter(q, np.inf, dtype=keys.dtype),
+                                 tracker)
 
     def equal_range(
         self, q, tracker: NullTracker = NULL_TRACKER

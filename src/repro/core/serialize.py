@@ -83,6 +83,7 @@ def save_simple_model(
             "kind": "interpolation",
             "num_keys": model.num_keys,
             "min": model._min,
+            "max": model._max,
             "scale": model._scale,
         }
     elif isinstance(model, LinearModel):
@@ -106,9 +107,15 @@ def load_simple_model(path: str | Path) -> InterpolationModel | LinearModel:
         model.num_keys = int(payload["num_keys"])
         model._min = float(payload["min"])
         model._scale = float(payload["scale"])
-        model._max = model._min + (
-            model.num_keys / model._scale if model._scale else 0.0
-        )
+        if "max" in payload:
+            model._max = float(payload["max"])
+        else:
+            # legacy payloads (format without "max"): reconstruct the
+            # builder's value up to float rounding — `num_keys / scale`
+            # need not invert `num_keys / span` bit-exactly
+            model._max = model._min + (
+                model.num_keys / model._scale if model._scale else 0.0
+            )
         return model
     if kind == "linear":
         model = LinearModel.__new__(LinearModel)

@@ -12,16 +12,31 @@ through the vectorised predict → correct → bounded-search pipeline;
 >>> positions = BatchExecutor(index).lookup_batch(queries)
 """
 
+from .backends import (
+    BACKEND_KINDS,
+    BackendConfig,
+    FenwickBackend,
+    GappedBackend,
+    ShardBackend,
+    StaticBackend,
+    make_backend,
+)
 from .executor import MODES, BatchExecutor
 from .plan import ExecutionPlan, ShardSlice
 from .sharded import LAYER_MODES, ShardedIndex, snap_offsets
 
 __all__ = [
+    "BACKEND_KINDS",
+    "BackendConfig",
     "BatchExecutor",
     "ExecutionPlan",
+    "FenwickBackend",
+    "GappedBackend",
     "LAYER_MODES",
     "MODES",
+    "ShardBackend",
     "ShardSlice",
     "ShardedIndex",
+    "StaticBackend",
     "snap_offsets",
 ]

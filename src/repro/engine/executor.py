@@ -24,7 +24,6 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..core.compact import CompactShiftTable
 from ..core.corrected_index import CorrectedIndex
 from ..core.shift_table import ShiftTable
 from .plan import ExecutionPlan, ShardSlice
@@ -40,17 +39,6 @@ def _as_sharded(index: ShardedIndex | CorrectedIndex) -> ShardedIndex:
     keys = index.data.keys
     offsets = np.asarray([0, len(keys)], dtype=np.int64)
     return ShardedIndex([index], offsets, keys, name=index.name)
-
-
-def _strategy_for(shard: CorrectedIndex) -> str:
-    """Last-mile strategy label the shard's configuration implies."""
-    if isinstance(shard.layer, ShiftTable):
-        return "R-window + bounded batch search"
-    if isinstance(shard.layer, CompactShiftTable):
-        return "S-point ± expected error"
-    if shard._model_bounds_batch(np.empty(0)) is not None:
-        return "model bounds + bounded batch search"
-    return "full searchsorted"
 
 
 class BatchExecutor:
@@ -98,7 +86,7 @@ class BatchExecutor:
         queries = np.asarray(queries)
         index = self.index
         slices: list[ShardSlice] = []
-        if queries.size:
+        if queries.size and len(index):
             shard_ids = index.route_batch(queries)
             counts = np.bincount(shard_ids, minlength=index.num_shards)
             for s in np.flatnonzero(counts):
@@ -113,10 +101,12 @@ class BatchExecutor:
                     ShardSlice(
                         shard_id=int(s),
                         num_queries=int(counts[s]),
-                        num_keys=len(shard.data),
+                        num_keys=len(shard),
                         index_name=shard.name,
-                        strategy=_strategy_for(shard),
+                        strategy=shard.strategy(),
                         expected_window=expected,
+                        backend=shard.kind,
+                        pending_updates=shard.pending,
                     )
                 )
         return ExecutionPlan(
@@ -143,6 +133,10 @@ class BatchExecutor:
         out = np.empty(queries.size, dtype=np.int64)
         if queries.size == 0:
             return out
+        if len(self.index) == 0:
+            # every key was deleted: the global lower bound is 0 everywhere
+            out[:] = 0
+            return out
         if self.mode == "scalar":
             index = self.index
             for i, q in enumerate(queries):
@@ -162,7 +156,9 @@ class BatchExecutor:
             s = int(sorted_ids[a])
             shard = index.shards[s]
             assert shard is not None, "router targeted an empty shard"
-            out[take] = shard.lookup_batch_vectorized(queries[take]) + int(
+            # backends answer in shard-local *logical* ranks, so the
+            # shard base offset still globalises them under updates
+            out[take] = shard.lookup_batch(queries[take]) + int(
                 index.offsets[s]
             )
 

@@ -22,6 +22,8 @@ class ShardSlice:
     index_name: str
     strategy: str
     expected_window: float | None = None
+    backend: str = "static"
+    pending_updates: int = 0
 
     def describe(self) -> str:
         window = (
@@ -29,10 +31,15 @@ class ShardSlice:
             if self.expected_window is not None
             else ""
         )
+        staleness = (
+            f", pending={self.pending_updates:,}"
+            if self.pending_updates else ""
+        )
         return (
             f"shard {self.shard_id:>4}: {self.num_queries:>8,} queries over "
             f"{self.num_keys:>10,} keys via {self.index_name} "
-            f"[{self.strategy}{window}]"
+            f"[{self.strategy}{window}] "
+            f"<{self.backend}{staleness}>"
         )
 
 

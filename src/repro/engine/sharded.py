@@ -1,39 +1,57 @@
 """Range-partitioned learned index: K shards, each model + correction.
 
 A :class:`ShardedIndex` splits one sorted key array into ``K``
-contiguous, equal-count ranges and builds an independent
-:class:`~repro.core.corrected_index.CorrectedIndex` (model + optional
-Shift-Table layer) over each.  Global positions are shard-local
-positions plus the shard's base offset, so every answer remains a global
-lower bound over the original array.
+contiguous, equal-count ranges and builds an independent shard backend
+(model + optional Shift-Table layer, plus update machinery — see
+:mod:`repro.engine.backends`) over each.  Global positions are
+shard-local *logical* ranks plus the shard's base offset, so every
+answer remains a global lower bound over the live key sequence.
 
 Two invariants make the vectorised router exact:
 
 * **Run-aligned cuts** — tentative equal-count shard boundaries are
   snapped left to the start of their duplicate run, so a run of equal
   keys never straddles two shards and a routed lower bound is the
-  *global* lower bound.
+  *global* lower bound.  Updates preserve this: inserts route through
+  the same boundaries, so every copy of a key lands in the same shard.
 * **Empty-shard routing** — snapping (and ``K`` larger than the number
-  of distinct keys) can leave shards empty.  Interior empty shards get a
-  zero-width routing interval and are therefore unreachable; routes past
-  the last non-empty shard are clamped back to it, which answers
-  ``q > max(keys)`` with position ``n`` like the scalar path.
+  of distinct keys, and deletes draining a shard) can leave shards
+  empty.  Empty shards own no routing interval and are unreachable;
+  routes past the last non-empty shard are clamped back to it, which
+  answers ``q > max(keys)`` with position ``n`` like the scalar path.
 
-Routing itself is one vectorised ``searchsorted`` over the ``K-1``
-boundary keys — the sharding analogue of the paper's "one memory lookup
-before the bounded search".
+Routing itself is one vectorised ``searchsorted`` over the boundary
+keys — the sharding analogue of the paper's "one memory lookup before
+the bounded search".
+
+Updates (:meth:`insert` / :meth:`delete`) route exactly like queries,
+mutate one shard backend, and shift the base offsets of every later
+shard.  Routing boundaries are allowed to go *stale* under deletes (a
+shard's smallest key may be deleted): a query falling between a stale
+boundary and the shard's live minimum answers identically whether the
+router sends it to this shard (local rank 0) or the previous one (local
+rank = shard size), so no eager boundary maintenance is needed.  When a
+shard's update slack runs out it is refreshed in place, or split in two
+at a run-aligned median once it has outgrown twice the build-time
+target shard size.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.compact import CompactShiftTable
 from ..core.corrected_index import CorrectedIndex
-from ..core.records import SortedData, normalize_query_dtype
-from ..core.shift_table import ShiftTable
+from ..core.records import normalize_query_dtype
 from ..hardware.machine import DEFAULT_PAYLOAD_BYTES
-from ..models.factory import ModelFactory, make_model
+from ..models.factory import ModelFactory
+from .backends import (
+    BACKEND_KINDS,
+    BackendConfig,
+    ShardBackend,
+    StaticBackend,
+    config_from_index,
+    make_backend,
+)
 
 #: Correction-layer modes a shard can be built with.
 LAYER_MODES = ("R", "S", None)
@@ -66,32 +84,42 @@ def snap_offsets(keys: np.ndarray, num_shards: int) -> np.ndarray:
 
 
 class ShardedIndex:
-    """K range shards, each a shard-local :class:`CorrectedIndex`."""
+    """K range shards, each an updatable :class:`ShardBackend`."""
 
     def __init__(
         self,
-        shards: list[CorrectedIndex | None],
+        shards: list[ShardBackend | CorrectedIndex | None],
         offsets: np.ndarray,
         keys: np.ndarray,
         name: str = "sharded",
+        config: BackendConfig | None = None,
+        backend: str = "static",
     ) -> None:
         if len(shards) != len(offsets) - 1:
             raise ValueError("need exactly one offset interval per shard")
-        self.shards = shards
-        self.offsets = np.asarray(offsets, dtype=np.int64)
-        self.keys = keys
+        self.config = config if config is not None else BackendConfig()
+        self.backend_kind = backend
+        # adopt bare CorrectedIndex shards (the read-only construction
+        # path) as static backends, each carrying a rebuild config
+        # derived from its own model/layer so a post-write refit does
+        # not silently swap in the engine defaults
+        self.shards: list[ShardBackend | None] = [
+            StaticBackend(s, config_from_index(s, self.config))
+            if isinstance(s, CorrectedIndex) else s
+            for s in shards
+        ]
+        self.offsets = np.asarray(offsets, dtype=np.int64).copy()
+        keys = np.asarray(keys)
+        self._keys = keys
+        self._keys_dirty = False
+        self.key_dtype = keys.dtype
         self.name = name
-        self.num_shards = len(shards)
-        # routing considers non-empty shards only: empty shards (possible
-        # on any side once equal-count cuts are snapped to duplicate-run
-        # starts) own no keys and must never receive a query.  Boundary
-        # keys are the first key of every non-empty shard after the first;
-        # those offsets are < n by construction, so no sentinel is needed.
-        nonempty = np.flatnonzero(np.diff(self.offsets) > 0)
-        if len(nonempty) == 0:
+        self.num_shards = len(self.shards)
+        if len(keys) == 0:
             raise ValueError("a ShardedIndex needs at least one key")
-        self._nonempty = nonempty
-        self._split_keys = keys[self.offsets[nonempty[1:]]]
+        #: build-time keys per shard; a shard splits once it doubles this
+        self._target_shard_keys = max(1, len(keys) // max(1, self.num_shards))
+        self._refresh_routing()
 
     # ------------------------------------------------------------------
     # construction
@@ -106,49 +134,70 @@ class ShardedIndex:
         layer_partitions: int | None = None,
         payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
         name: str = "sharded",
+        backend: str = "static",
+        density: float = 0.75,
+        merge_threshold: int = 4096,
     ) -> "ShardedIndex":
-        """Partition ``keys`` and fit a model (+ layer) per shard.
+        """Partition ``keys`` and fit a backend (model + layer) per shard.
 
         ``model`` is a factory name (see
         :data:`~repro.models.factory.MODEL_FACTORIES`) or a callable
         ``keys -> CDFModel``; ``layer`` selects the correction mode:
-        ``"R"`` (guaranteed-window :class:`ShiftTable`), ``"S"``
-        (compact :class:`CompactShiftTable`) or ``None`` (bare model).
-        ``layer_partitions`` is the paper's ``M`` per shard (default
-        ``M = N_shard``).
+        ``"R"`` (guaranteed-window ShiftTable), ``"S"`` (compact layer)
+        or ``None`` (bare model); ``layer_partitions`` is the paper's
+        ``M`` per shard (default ``M = N_shard``).  ``backend`` selects
+        the shard storage engine (:data:`~repro.engine.backends.BACKEND_KINDS`):
+        ``"static"`` rebuilds on every write, ``"gapped"`` keeps
+        ALEX-style gaps, ``"fenwick"`` buffers deltas §6-style.
         """
         keys = np.asarray(keys)
         if keys.ndim != 1 or len(keys) == 0:
             raise ValueError("keys must be a non-empty 1-d sorted array")
         if layer not in LAYER_MODES:
             raise ValueError(f"layer must be one of {LAYER_MODES}, got {layer!r}")
+        if backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"backend must be one of {BACKEND_KINDS}, got {backend!r}"
+            )
+        config = BackendConfig(
+            model=model, layer=layer, layer_partitions=layer_partitions,
+            payload_bytes=payload_bytes, density=density,
+            merge_threshold=merge_threshold,
+        )
         offsets = snap_offsets(keys, num_shards)
-        shards: list[CorrectedIndex | None] = []
+        shards: list[ShardBackend | None] = []
         for s in range(num_shards):
             lo, hi = int(offsets[s]), int(offsets[s + 1])
             if hi <= lo:
                 shards.append(None)
                 continue
-            slice_keys = keys[lo:hi]
-            data = SortedData(
-                slice_keys, payload_bytes=payload_bytes, name=f"{name}_s{s}"
+            shards.append(
+                make_backend(backend, keys[lo:hi], config, name=f"{name}_s{s}")
             )
-            shard_model = make_model(model, slice_keys)
-            shard_layer: ShiftTable | CompactShiftTable | None = None
-            if layer == "R":
-                shard_layer = ShiftTable.build(
-                    slice_keys, shard_model, layer_partitions
-                )
-            elif layer == "S":
-                shard_layer = CompactShiftTable.build(
-                    slice_keys, shard_model, layer_partitions
-                )
-            shards.append(CorrectedIndex(data, shard_model, shard_layer))
-        return cls(shards, offsets, keys, name=name)
+        return cls(shards, offsets, keys, name=name, config=config,
+                   backend=backend)
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
+    def _refresh_routing(self) -> None:
+        """Recompute the non-empty shard set and boundary keys.
+
+        Called at build time and whenever the shard *set* changes (a
+        split, or a delete draining a shard); ordinary inserts/deletes
+        keep the existing boundaries, which stay correct even when
+        stale (see the module docstring).
+        """
+        sizes = np.diff(self.offsets)
+        self._nonempty = np.flatnonzero(sizes > 0)
+        if len(self._nonempty) == 0:
+            self._split_keys = np.empty(0, dtype=self.key_dtype)
+            return
+        self._split_keys = np.asarray(
+            [self.shards[int(s)].min_key() for s in self._nonempty[1:]],
+            dtype=self.key_dtype,
+        )
+
     def normalize_queries(self, queries: np.ndarray) -> np.ndarray:
         """Routing view of a query batch in the key dtype (no wrap).
 
@@ -156,16 +205,19 @@ class ShardedIndex:
         lanes to the last; the per-shard batch pipeline re-normalises
         with the overflow mask and patches those lanes to exact answers.
         """
-        return normalize_query_dtype(queries, self.keys.dtype)[0]
+        return normalize_query_dtype(queries, self.key_dtype)[0]
 
     def route_batch(self, queries: np.ndarray) -> np.ndarray:
         """Shard id per query (vectorised; never an empty shard).
 
-        A query routes to the last non-empty shard whose first key is
+        A query routes to the last non-empty shard whose boundary key is
         ``<= q`` (the first non-empty shard when ``q`` precedes all
-        keys).  Because duplicate runs never straddle a cut, the shard's
-        local lower bound plus its base offset is the global lower bound.
+        boundaries).  Because duplicate runs never straddle a cut, the
+        shard's local lower bound plus its base offset is the global
+        lower bound.
         """
+        if len(self._nonempty) == 0:
+            raise ValueError("cannot route queries on an empty index")
         queries = self.normalize_queries(queries)
         route = np.searchsorted(self._split_keys, queries, side="right")
         return self._nonempty[route]
@@ -179,12 +231,15 @@ class ShardedIndex:
     # ------------------------------------------------------------------
     def lookup(self, q, tracker=None) -> int:
         """Global lower-bound position of ``q`` (scalar reference path)."""
+        n = int(self.offsets[-1])
+        if n == 0:
+            return 0
         # same no-wrap normalization as the batch path: a forced-dtype
         # cast of e.g. int64 -5 against uint64 keys would route (and
         # compare) as 2^64-5
-        arr, oob_high = normalize_query_dtype(np.asarray([q]), self.keys.dtype)
+        arr, oob_high = normalize_query_dtype(np.asarray([q]), self.key_dtype)
         if oob_high is not None and oob_high[0]:
-            return len(self.keys)
+            return n
         q = arr[0]
         s = int(self.route_batch(arr)[0])
         shard = self.shards[s]
@@ -205,14 +260,153 @@ class ShardedIndex:
         return BatchExecutor(self).lookup_batch(queries)
 
     # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def _cast_key(self, key):
+        """Cast an update key into the key domain (no silent wrap)."""
+        if self.key_dtype.kind in "iu":
+            info = np.iinfo(self.key_dtype)
+            as_int = int(key)
+            if as_int < int(info.min) or as_int > int(info.max):
+                raise ValueError(
+                    f"key {key!r} outside the {self.key_dtype} key domain"
+                )
+            return self.key_dtype.type(as_int)
+        return self.key_dtype.type(key)
+
+    def insert(self, key) -> int:
+        """Insert ``key`` into its shard; returns the shard id.
+
+        Routes like a query, delegates to the shard backend, shifts the
+        base offsets of all later shards, and runs shard maintenance
+        (in-place refresh, or a run-aligned split once the shard has
+        doubled its build-time size) when the backend's slack runs out.
+        """
+        key = self._cast_key(key)
+        if len(self._nonempty) == 0:
+            # every key was deleted: re-seed the first shard
+            s = 0
+            self.shards[0] = make_backend(
+                self.backend_kind, np.asarray([key], dtype=self.key_dtype),
+                self.config, name=f"{self.name}_s0",
+            )
+            self.offsets[1:] += 1
+            self._keys_dirty = True
+            self._refresh_routing()
+            return 0
+        s = int(self.route_batch(np.asarray([key]))[0])
+        shard = self.shards[s]
+        assert shard is not None, "router targeted an empty shard"
+        shard.insert(key)
+        self.offsets[s + 1 :] += 1
+        self._keys_dirty = True
+        self._maybe_maintain(s)
+        return s
+
+    def delete(self, key) -> int:
+        """Delete one occurrence of ``key``; returns the shard id.
+
+        Raises KeyError when the key is not present.  A delete that
+        drains its shard drops the shard from routing.
+        """
+        try:
+            key = self._cast_key(key)
+        except ValueError:
+            raise KeyError(key) from None
+        if len(self._nonempty) == 0:
+            raise KeyError(key)
+        s = int(self.route_batch(np.asarray([key]))[0])
+        shard = self.shards[s]
+        assert shard is not None, "router targeted an empty shard"
+        shard.delete(key)
+        self.offsets[s + 1 :] -= 1
+        self._keys_dirty = True
+        if len(shard) == 0:
+            self.shards[s] = None
+            self._refresh_routing()
+        else:
+            # delete-heavy workloads accumulate tombstones too: give the
+            # backend its amortised merge when the slack runs out
+            self._maybe_maintain(s)
+        return s
+
+    def refresh(self) -> None:
+        """Fold pending updates back into every shard (amortised rebuild)."""
+        for s in self._nonempty:
+            self.shards[int(s)].refresh()
+
+    def _maybe_maintain(self, s: int) -> None:
+        """Split an outgrown shard; refresh one whose slack ran out."""
+        shard = self.shards[s]
+        if shard is None:
+            return
+        size = len(shard)
+        if size >= max(2 * self._target_shard_keys, 8):
+            # a shard holding one giant duplicate run cannot split; back
+            # off until it grows another 25% instead of re-materialising
+            # its keys on every insert
+            if size >= shard.split_failed_at + max(
+                shard.split_failed_at // 4, 1
+            ):
+                if self._split_shard(s):
+                    return
+                shard.split_failed_at = size
+        if shard.needs_refresh():
+            shard.refresh()
+
+    def _split_shard(self, s: int) -> bool:
+        """Split shard ``s`` at its run-aligned median; False if degenerate.
+
+        The cut is snapped left to the start of the median key's
+        duplicate run (the same invariant as :func:`snap_offsets`); a
+        shard holding one giant run cannot split and refreshes instead.
+        """
+        shard = self.shards[s]
+        logical = shard.keys()
+        mid = int(np.searchsorted(logical, logical[len(logical) // 2],
+                                  side="left"))
+        if mid == 0 or mid == len(logical):
+            return False
+        # rebuild from the shard's OWN config (an adopted shard may be
+        # configured differently from the engine defaults)
+        left = make_backend(shard.kind, logical[:mid], shard.config,
+                            name=f"{self.name}_s{s}a")
+        right = make_backend(shard.kind, logical[mid:], shard.config,
+                             name=f"{self.name}_s{s}b")
+        self.shards[s : s + 1] = [left, right]
+        self.offsets = np.insert(self.offsets, s + 1,
+                                 int(self.offsets[s]) + mid)
+        self.num_shards += 1
+        self._refresh_routing()
+        return True
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
+    @property
+    def keys(self) -> np.ndarray:
+        """The live global key array (materialised lazily after updates)."""
+        if self._keys_dirty:
+            parts = [self.shards[int(s)].keys() for s in self._nonempty]
+            self._keys = (
+                np.concatenate(parts) if parts
+                else np.empty(0, dtype=self.key_dtype)
+            )
+            self._keys_dirty = False
+        return self._keys
+
     def __len__(self) -> int:
-        return len(self.keys)
+        return int(self.offsets[-1])
 
     def shard_sizes(self) -> np.ndarray:
-        """Keys per shard (zeros mark empty shards)."""
+        """Live keys per shard (zeros mark empty shards)."""
         return np.diff(self.offsets)
+
+    def pending_updates(self) -> int:
+        """Mutations buffered across shards but not yet folded back."""
+        return sum(
+            self.shards[int(s)].pending for s in self._nonempty
+        )
 
     def size_bytes(self) -> int:
         """Model + layer footprint summed over shards (excludes data)."""
@@ -223,15 +417,18 @@ class ShardedIndex:
         return {
             "name": self.name,
             "num_shards": self.num_shards,
-            "num_keys": len(self.keys),
+            "num_keys": len(self),
+            "backend": self.backend_kind,
             "empty_shards": int((sizes == 0).sum()),
             "min_shard": int(sizes.min()),
             "max_shard": int(sizes.max()),
+            "pending_updates": self.pending_updates(),
             "index_bytes": self.size_bytes(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ShardedIndex(K={self.num_shards}, N={len(self.keys)}, "
+            f"ShardedIndex(K={self.num_shards}, N={len(self)}, "
+            f"backend={self.backend_kind}, "
             f"empty={int((self.shard_sizes() == 0).sum())})"
         )

@@ -68,3 +68,42 @@ def make_model(kind: str | ModelFactory, keys: np.ndarray) -> CDFModel:
             f"unknown model kind {kind!r}; known: {sorted(MODEL_FACTORIES)}"
         ) from None
     return factory(keys)
+
+
+def build_corrected_index(
+    keys: np.ndarray,
+    model: str | ModelFactory = "interpolation",
+    layer: str | None = "R",
+    layer_partitions: int | None = None,
+    payload_bytes: int | None = None,
+    name: str = "index",
+):
+    """Fit model + correction layer + data into one CorrectedIndex.
+
+    The single construction path shared by :meth:`ShardedIndex.build`
+    and the updatable shard backends, so a shard rebuilt after updates
+    is configured exactly like the shard built at load time.  ``layer``
+    is ``"R"`` (guaranteed-window ShiftTable), ``"S"`` (compact layer)
+    or ``None`` (bare model).
+    """
+    # local imports: models.factory is imported by core modules, so a
+    # top-level core import here would be circular
+    from ..core.compact import CompactShiftTable
+    from ..core.corrected_index import CorrectedIndex
+    from ..core.records import SortedData
+    from ..core.shift_table import ShiftTable
+    from ..hardware.machine import DEFAULT_PAYLOAD_BYTES
+
+    if layer not in ("R", "S", None):
+        raise ValueError(f"layer must be 'R', 'S' or None, got {layer!r}")
+    keys = np.asarray(keys)
+    if payload_bytes is None:
+        payload_bytes = DEFAULT_PAYLOAD_BYTES
+    data = SortedData(keys, payload_bytes=payload_bytes, name=name)
+    fitted = make_model(model, keys)
+    built = None
+    if layer == "R":
+        built = ShiftTable.build(keys, fitted, layer_partitions)
+    elif layer == "S":
+        built = CompactShiftTable.build(keys, fitted, layer_partitions)
+    return CorrectedIndex(data, fitted, built)

@@ -1,0 +1,475 @@
+"""Updatable engine: interleaved reads/writes stay oracle-exact.
+
+The acceptance bar mirrors the read-only engine's: every answer the
+:class:`BatchExecutor` returns between (and after) mutations must equal
+``np.searchsorted`` over the live key sequence — for every shard
+backend, across shard boundaries, with inserts, deletes, amortised
+refreshes, shard splits and drained shards in the mix.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BACKEND_KINDS,
+    BatchExecutor,
+    ShardedIndex,
+    make_backend,
+)
+
+BACKENDS = list(BACKEND_KINDS)
+
+
+def oracle(reference: list[int], dtype) -> np.ndarray:
+    return np.asarray(reference, dtype=dtype)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_interleaved_inserts_deletes_and_batch_reads(backend):
+    rng = np.random.default_rng(11)
+    keys = np.unique(rng.integers(0, 100_000, 4_200, dtype=np.uint64))[:4_000]
+    index = ShardedIndex.build(keys, 6, backend=backend)
+    executor = BatchExecutor(index)
+    reference = sorted(map(int, keys))
+
+    for step in range(400):
+        if step % 3 == 2 and reference:
+            victim = reference[int(rng.integers(0, len(reference)))]
+            index.delete(np.uint64(victim))
+            reference.remove(victim)
+        else:
+            value = int(rng.integers(0, 100_000))
+            index.insert(np.uint64(value))
+            bisect.insort(reference, value)
+        if step % 25 == 0:
+            live = oracle(reference, keys.dtype)
+            queries = rng.integers(0, 100_001, 256).astype(np.uint64)
+            got = executor.lookup_batch(queries)
+            assert np.array_equal(
+                got, np.searchsorted(live, queries, side="left")
+            ), f"{backend} diverged at step {step}"
+
+    # final: point lookups, ranges straddling shard cuts, counts, scans
+    live = oracle(reference, keys.dtype)
+    queries = rng.integers(0, 100_001, 2_000).astype(np.uint64)
+    assert np.array_equal(
+        executor.lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+    lows = rng.integers(0, 90_000, 200).astype(np.uint64)
+    highs = lows + rng.integers(1, 30_000, 200).astype(np.uint64)
+    first, last = executor.range_batch(lows, highs)
+    assert np.array_equal(first, np.searchsorted(live, lows, side="left"))
+    assert np.array_equal(last, np.searchsorted(live, highs, side="left"))
+    for scanned, a, b in zip(executor.scan_batch(lows, highs), first, last):
+        assert np.array_equal(scanned, live[a:b])
+
+
+@pytest.mark.parametrize("backend", ["gapped", "fenwick"])
+def test_acceptance_100k_keys_4_shards_10pct_inserts(backend):
+    """The PR's acceptance bar: >=100k keys, >=4 shards, a 10%-insert
+    mixed workload, every batch answer oracle-verified."""
+    rng = np.random.default_rng(23)
+    keys = np.unique(rng.integers(0, 1 << 40, 103_000, dtype=np.uint64))
+    keys = keys[:100_000]
+    assert len(keys) == 100_000
+    index = ShardedIndex.build(keys, 4, backend=backend)
+    executor = BatchExecutor(index)
+
+    inserted: list[int] = []
+    num_rounds, reads_per_round, writes_per_round = 10, 2_000, 222
+    for round_no in range(num_rounds):
+        for value in rng.integers(0, 1 << 40, writes_per_round):
+            index.insert(np.uint64(int(value)))
+            inserted.append(int(value))
+        live = np.sort(np.concatenate(
+            [keys, np.asarray(inserted, dtype=np.uint64)]
+        ))
+        queries = np.concatenate([
+            rng.choice(live, reads_per_round // 2),
+            rng.integers(0, 1 << 40, reads_per_round // 2,
+                         dtype=np.uint64),
+        ])
+        got = executor.lookup_batch(queries)
+        assert np.array_equal(
+            got, np.searchsorted(live, queries, side="left")
+        ), f"{backend} diverged in round {round_no}"
+    # ~10% writes overall, and they really are pending/absorbed
+    assert len(inserted) == num_rounds * writes_per_round
+    assert len(index) == 100_000 + len(inserted)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_updates_crossing_shard_boundaries_and_duplicates(backend):
+    # duplicate runs planted right on the build-time cuts, then hammered
+    keys = np.repeat(
+        np.asarray([100, 200, 300, 400, 500], dtype=np.uint64), 40
+    )
+    index = ShardedIndex.build(keys, 5, backend=backend)
+    executor = BatchExecutor(index)
+    reference = sorted(map(int, keys))
+    rng = np.random.default_rng(3)
+    for _ in range(120):
+        value = int(rng.choice([100, 150, 200, 250, 300, 350, 400, 500]))
+        index.insert(np.uint64(value))
+        bisect.insort(reference, value)
+    for _ in range(60):
+        victim = reference[int(rng.integers(0, len(reference)))]
+        index.delete(np.uint64(victim))
+        reference.remove(victim)
+    live = oracle(reference, keys.dtype)
+    queries = np.arange(0, 600, dtype=np.uint64)
+    assert np.array_equal(
+        executor.lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+    # a duplicate run never straddles shards, so equal-key lookups are
+    # still the global run start
+    run_start = executor.lookup_batch(np.asarray([200], dtype=np.uint64))[0]
+    assert live[run_start] == 200 and (run_start == 0 or live[run_start - 1] < 200)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_shard_splits_keep_answers_exact(backend):
+    rng = np.random.default_rng(7)
+    keys = np.unique(rng.integers(0, 10_000, 800, dtype=np.uint64))[:600]
+    index = ShardedIndex.build(keys, 4, backend=backend)
+    executor = BatchExecutor(index)
+    reference = sorted(map(int, keys))
+    # hammer the first shard's key range so it must split
+    for value in rng.integers(0, 1_500, 2_500):
+        index.insert(np.uint64(int(value)))
+        bisect.insort(reference, int(value))
+    assert index.num_shards > 4, "expected at least one shard split"
+    live = oracle(reference, keys.dtype)
+    queries = rng.integers(0, 10_001, 2_000).astype(np.uint64)
+    assert np.array_equal(
+        executor.lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+    # offsets stay consistent with the live shard sizes
+    assert int(index.offsets[-1]) == len(reference)
+    assert bool(np.all(np.diff(index.offsets) >= 0))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_draining_a_shard_and_the_whole_index(backend):
+    keys = np.arange(0, 120, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 4, backend=backend)
+    executor = BatchExecutor(index)
+    # drain shard 0 completely
+    for value in range(30):
+        index.delete(np.uint64(value))
+    live = np.arange(30, 120, dtype=np.uint64)
+    queries = np.asarray([0, 15, 29, 30, 31, 119, 200], dtype=np.uint64)
+    assert np.array_equal(
+        executor.lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+    # drain everything: every lower bound collapses to 0
+    for value in range(30, 120):
+        index.delete(np.uint64(value))
+    assert len(index) == 0
+    assert np.array_equal(
+        executor.lookup_batch(queries), np.zeros(len(queries), np.int64)
+    )
+    # and the index is reusable afterwards
+    index.insert(np.uint64(50))
+    index.insert(np.uint64(10))
+    assert np.array_equal(
+        executor.lookup_batch(np.asarray([0, 10, 11, 50, 51], np.uint64)),
+        [0, 0, 1, 1, 2],
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_delete_semantics(backend):
+    keys = np.asarray([5, 7, 7, 7, 9, 12], dtype=np.uint64)
+    index = ShardedIndex.build(keys, 2, backend=backend)
+    with pytest.raises(KeyError):
+        index.delete(np.uint64(6))
+    with pytest.raises(KeyError):
+        index.delete(np.uint64(10_000))
+    with pytest.raises(KeyError):
+        index.delete(-3)  # below the uint64 domain: cannot exist
+    for expected_remaining in (2, 1, 0):
+        index.delete(np.uint64(7))
+        assert int((index.keys == 7).sum()) == expected_remaining
+    with pytest.raises(KeyError):
+        index.delete(np.uint64(7))
+    assert np.array_equal(index.keys, [5, 9, 12])
+
+
+def test_insert_rejects_out_of_domain_keys():
+    keys = np.arange(10, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 2)
+    with pytest.raises(ValueError):
+        index.insert(-1)
+    with pytest.raises(ValueError):
+        index.insert(1 << 65)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_refresh_folds_updates_and_preserves_answers(backend):
+    rng = np.random.default_rng(19)
+    keys = np.unique(rng.integers(0, 50_000, 3_000, dtype=np.uint64))
+    index = ShardedIndex.build(keys, 4, backend=backend)
+    executor = BatchExecutor(index)
+    reference = sorted(map(int, keys))
+    for value in rng.integers(0, 50_000, 300):
+        index.insert(np.uint64(int(value)))
+        bisect.insort(reference, int(value))
+    index.refresh()
+    assert index.pending_updates() == 0
+    live = oracle(reference, keys.dtype)
+    queries = rng.integers(0, 50_001, 1_000).astype(np.uint64)
+    assert np.array_equal(
+        executor.lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+
+
+def test_plan_reports_backend_and_staleness_columns():
+    keys = np.arange(0, 2_000, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 3, backend="fenwick")
+    for value in range(0, 100):
+        index.insert(np.uint64(value))
+    executor = BatchExecutor(index)
+    plan = executor.plan(np.arange(0, 2_000, 10, dtype=np.uint64))
+    assert all(s.backend == "fenwick" for s in plan.slices)
+    assert sum(s.pending_updates for s in plan.slices) == 100
+    text = plan.describe()
+    assert "<fenwick, pending=" in text
+    # static shards advertise zero staleness
+    static_plan = BatchExecutor(ShardedIndex.build(keys, 3)).plan(
+        np.arange(0, 100, dtype=np.uint64)
+    )
+    assert all(s.backend == "static" for s in static_plan.slices)
+    assert all(s.pending_updates == 0 for s in static_plan.slices)
+    assert "<static>" in static_plan.describe()
+
+
+def test_build_rejects_unknown_backend():
+    keys = np.arange(10, dtype=np.uint64)
+    with pytest.raises(ValueError):
+        ShardedIndex.build(keys, 2, backend="clay")
+    with pytest.raises(ValueError):
+        make_backend("clay", keys, None)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scalar_mode_agrees_with_vectorized_under_updates(backend):
+    rng = np.random.default_rng(29)
+    keys = np.unique(rng.integers(0, 5_000, 500, dtype=np.uint64))
+    index = ShardedIndex.build(keys, 3, backend=backend)
+    reference = sorted(map(int, keys))
+    for value in rng.integers(0, 5_000, 150):
+        index.insert(np.uint64(int(value)))
+        bisect.insort(reference, int(value))
+    for victim in rng.choice(reference, 50, replace=False):
+        index.delete(np.uint64(int(victim)))
+        reference.remove(int(victim))
+    queries = rng.integers(0, 5_001, 300).astype(np.uint64)
+    vectorized = BatchExecutor(index).lookup_batch(queries)
+    scalar = BatchExecutor(index, mode="scalar").lookup_batch(queries)
+    live = oracle(reference, keys.dtype)
+    assert np.array_equal(vectorized, scalar)
+    assert np.array_equal(
+        vectorized, np.searchsorted(live, queries, side="left")
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mismatched_query_dtypes_stay_exact_under_updates(backend):
+    rng = np.random.default_rng(31)
+    keys = np.sort(rng.integers(1 << 61, 1 << 63, 2_000, dtype=np.uint64))
+    index = ShardedIndex.build(keys, 3, backend=backend)
+    inserted = rng.integers(1 << 61, 1 << 63, 200, dtype=np.uint64)
+    for value in inserted:
+        index.insert(value)
+    live = np.sort(np.concatenate([keys, inserted]))
+    queries = np.concatenate([
+        live[:100].astype(np.int64) + 1,
+        np.asarray([-5, -1, 0], dtype=np.int64),
+    ])
+    want = np.searchsorted(
+        live, np.maximum(queries, 0).astype(np.uint64), side="left"
+    )
+    got = BatchExecutor(index).lookup_batch(queries)
+    assert np.array_equal(got, want)
+    assert index.lookup(np.int64(-5)) == 0
+    assert index.lookup((1 << 64) - 1) == len(live)
+
+
+def test_adopted_corrected_index_keeps_its_config_after_writes():
+    # a bare CorrectedIndex adopted by the executor must be rebuilt with
+    # ITS model/layer on the first write, not the engine defaults
+    from repro.models.factory import build_corrected_index
+    from repro.core.compact import CompactShiftTable
+    from repro.models import RMIModel
+
+    keys = np.sort(
+        np.random.default_rng(2).integers(0, 1 << 30, 3_000, dtype=np.uint64)
+    )
+    executor = BatchExecutor(build_corrected_index(keys, model="rmi", layer="S"))
+    index = executor.index
+    index.insert(np.uint64(12345))
+    shard = index.shards[0]
+    assert isinstance(shard.model, RMIModel)
+    assert isinstance(shard.layer, CompactShiftTable)
+    live = np.sort(np.append(keys, np.uint64(12345)))
+    queries = np.random.default_rng(3).choice(live, 500)
+    assert np.array_equal(
+        executor.lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+
+
+def test_delete_heavy_workload_triggers_fenwick_merges():
+    keys = np.arange(0, 4_000, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 2, backend="fenwick", merge_threshold=64)
+    for value in range(0, 1_000):
+        index.delete(np.uint64(value))
+    # tombstones must have been folded back, not accumulated unboundedly
+    assert index.pending_updates() < 64 * 2
+    live = np.arange(1_000, 4_000, dtype=np.uint64)
+    queries = np.arange(0, 4_000, 7, dtype=np.uint64)
+    assert np.array_equal(
+        BatchExecutor(index).lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unsplittable_duplicate_run_shard_backs_off(backend):
+    keys = np.arange(0, 40, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 4, backend=backend)
+    # one value hammered until its shard is a single giant run far past
+    # the split threshold: must stay exact and record the failed split
+    for _ in range(300):
+        index.insert(np.uint64(5))
+    shard = index.shards[int(index.route(np.uint64(5)))]
+    assert shard.split_failed_at > 0
+    live = np.sort(np.concatenate(
+        [keys, np.full(300, 5, dtype=np.uint64)]
+    ))
+    queries = np.asarray([0, 4, 5, 6, 39, 40], dtype=np.uint64)
+    assert np.array_equal(
+        BatchExecutor(index).lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scalar_lookup_forwards_the_tracker(backend):
+    from repro.hardware.hierarchy import MemoryHierarchy
+    from repro.hardware.machine import MachineSpec
+    from repro.hardware.tracker import SimTracker
+
+    keys = np.arange(0, 2_000, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 2, backend=backend)
+    index.insert(np.uint64(777))
+    tracker = SimTracker(MemoryHierarchy(MachineSpec.paper().scaled_for(2_001, 16)))
+    before = tracker.stats.instructions
+    index.lookup(np.uint64(1_234), tracker)
+    assert tracker.stats.instructions > before
+
+
+def test_shard_split_preserves_adopted_config():
+    from repro.models.factory import build_corrected_index
+    from repro.core.compact import CompactShiftTable
+    from repro.models import RMIModel
+
+    rng = np.random.default_rng(41)
+    keys = np.sort(rng.integers(0, 1 << 30, 1_500, dtype=np.uint64))
+    executor = BatchExecutor(build_corrected_index(keys, model="rmi", layer="S"))
+    index = executor.index
+    # double the single adopted shard so it splits
+    inserted = rng.integers(0, 1 << 30, 1_600, dtype=np.uint64)
+    for value in inserted:
+        index.insert(value)
+    assert index.num_shards > 1, "expected the adopted shard to split"
+    for shard in index.shards:
+        if shard is not None:
+            assert isinstance(shard.model, RMIModel)
+            assert isinstance(shard.layer, CompactShiftTable)
+    live = np.sort(np.concatenate([keys, inserted]))
+    queries = rng.choice(live, 800)
+    assert np.array_equal(
+        executor.lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )
+
+
+def test_fenwick_merge_threshold_scales_down_for_small_shards():
+    from repro.engine import BackendConfig, FenwickBackend
+
+    keys = np.arange(0, 100, dtype=np.uint64)
+    backend = FenwickBackend(keys, BackendConfig())
+    # the delta buffer may never dwarf the 100-key base: cap is n // 4
+    assert backend._u.merge_threshold == 25
+    # an explicit small threshold is honoured as-is
+    small = FenwickBackend(keys, BackendConfig(merge_threshold=8))
+    assert small._u.merge_threshold == 8
+
+
+def test_min_key_skips_tombstoned_and_gapped_minima():
+    from repro.engine import BackendConfig, FenwickBackend, GappedBackend
+
+    keys = np.asarray([10, 10, 20, 30, 40], dtype=np.uint64)
+    fen = FenwickBackend(keys, BackendConfig())
+    assert fen.min_key() == 10
+    fen.delete(np.uint64(10))
+    assert fen.min_key() == 10  # one copy of the run survives
+    fen.delete(np.uint64(10))
+    assert fen.min_key() == 20
+    fen.insert(np.uint64(5))
+    assert fen.min_key() == 5  # buffered key below the base minimum
+
+    gap = GappedBackend(keys, BackendConfig())
+    gap.delete(np.uint64(10))
+    gap.delete(np.uint64(10))
+    assert gap.min_key() == 20
+
+
+def test_upper_bound_negative_infinity_on_float_keys():
+    keys = np.asarray([1.5, 2.5, 7.0], dtype=np.float64)
+    from repro.core.corrected_index import CorrectedIndex
+    from repro.core.range_query import RangeQueryEngine
+    from repro.core.records import SortedData
+    from repro.core.shift_table import ShiftTable
+    from repro.models import InterpolationModel
+
+    model = InterpolationModel(keys)
+    eng = RangeQueryEngine(
+        CorrectedIndex(SortedData(keys), model, ShiftTable.build(keys, model))
+    )
+    assert eng.upper_bound(-np.inf) == 0
+    assert eng.equal_range(-np.inf) == (0, 0)
+    assert eng.upper_bound(np.inf) == 3
+    assert eng.upper_bound(np.nan) == 3  # NaN sorts after everything
+
+
+def test_gapped_shard_refresh_restores_slack():
+    # shard-level maintenance owns gapped compaction: once a shard's
+    # slack drops under 5% the next insert must re-spread it (well
+    # before the 2x-size split threshold is reached)
+    keys = np.arange(0, 4_000, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 4, backend="gapped", density=0.75)
+    reference = list(range(4_000))
+    rng = np.random.default_rng(43)
+    for value in rng.integers(0, 1_000, 350):  # ~35% growth of shard 0
+        index.insert(np.uint64(int(value)))
+        bisect.insort(reference, int(value))
+    shard = index.shards[0]
+    assert shard._g.gap_fraction > 0.05, "refresh never ran"
+    live = np.asarray(reference, dtype=np.uint64)
+    queries = rng.integers(0, 4_001, 1_000).astype(np.uint64)
+    assert np.array_equal(
+        BatchExecutor(index).lookup_batch(queries),
+        np.searchsorted(live, queries, side="left"),
+    )

@@ -108,3 +108,163 @@ def test_property_gapped_inserts(keys, inserts):
     assert np.array_equal(g.real_keys(), merged)
     probe = merged[len(merged) // 2]
     assert g.rank(probe) == int(np.searchsorted(merged, probe))
+
+
+# ----------------------------------------------------------------------
+# insert shift-copy regression (overlapping slice corruption)
+# ----------------------------------------------------------------------
+def test_adversarial_insert_order_long_shifts_both_directions():
+    """Regression: the shift branches memmove through an overlapping
+    source/destination window.  A copy in the wrong direction (the
+    historical in-place slice assignment was memcpy-order-dependent)
+    smears one key across the block; clustered inserts that force
+    progressively longer shifts in both directions expose it."""
+    base = (np.arange(40, dtype=np.uint64) * 1000).astype(np.uint64)
+    g = GappedLearnedIndex(base, density=0.75)
+    reference = list(map(int, base))
+    # hammer a tight cluster so nearby gaps are consumed and every next
+    # insert must shift a longer occupied block (right or left towards
+    # the nearest surviving gap)
+    cluster = [20_500 + step for step in (3, 1, 4, 1, 5, 9, 2, 6, 0, 8,
+                                          7, 3, 2, 9, 5, 1, 4, 6, 0, 7)]
+    shifts = []
+    for value in cluster:
+        shifts.append(g.insert(np.uint64(value)))
+        reference.append(value)
+        g.check_invariants()
+        assert np.array_equal(
+            g.real_keys(), np.sort(np.asarray(reference, dtype=np.uint64))
+        ), f"corrupted after inserting {value}"
+    # the adversarial order must actually exercise multi-slot shifts
+    assert max(shifts) > 1
+
+
+@pytest.mark.parametrize("order", ["ascending", "descending"])
+def test_adversarial_single_gap_full_array_shift(order):
+    """One gap at the far end of a nearly-full array: every insert at
+    the other end memmoves the whole occupied prefix/suffix."""
+    base = (np.arange(16, dtype=np.uint64) * 10 + 100).astype(np.uint64)
+    g = GappedLearnedIndex(base, density=0.95)  # capacity 17, gap at end
+    reference = list(map(int, base))
+    values = [50, 40, 60, 30, 70] if order == "descending" else [
+        50, 60, 40, 70, 30]
+    for value in values:
+        g.insert(np.uint64(value))
+        reference.append(value)
+        g.check_invariants()
+        assert np.array_equal(
+            g.real_keys(), np.sort(np.asarray(reference, dtype=np.uint64))
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=2, max_size=80, allow_duplicates=True),
+    inserts=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=40),
+    density=st.sampled_from([0.5, 0.7, 0.9, 1.0]),
+)
+def test_property_invariants_hold_after_every_insert(keys, inserts, density):
+    g = GappedLearnedIndex(keys, density=density)
+    g.check_invariants(strict_clones=True)
+    reference = list(map(int, keys))
+    for k in inserts:
+        g.insert(np.uint64(k))
+        reference.append(k)
+        # the gap-clone property is preserved by every insert path
+        g.check_invariants(strict_clones=True)
+    assert np.array_equal(
+        g.real_keys(), np.sort(np.asarray(reference, dtype=np.uint64))
+    )
+
+
+def test_thousands_of_random_inserts_match_sorted_reference():
+    """Satellite check: the clone-invariant audit at scale — real_keys()
+    must equal a plain sorted reference after thousands of inserts."""
+    rng = np.random.default_rng(77)
+    base = np.unique(rng.integers(0, 1 << 30, 2_100, dtype=np.uint64))[:2_000]
+    g = GappedLearnedIndex(base, density=0.8)
+    inserts = rng.integers(0, 1 << 30, 3_000, dtype=np.uint64)
+    reference = np.sort(np.concatenate([base, inserts]))
+    for i, k in enumerate(inserts):
+        g.insert(k)
+        if i % 500 == 499:
+            g.check_invariants(strict_clones=True)
+    assert np.array_equal(g.real_keys(), reference)
+    probes = rng.choice(reference, 300)
+    assert np.array_equal(
+        g.rank_batch(probes), np.searchsorted(reference, probes)
+    )
+
+
+# ----------------------------------------------------------------------
+# deletes
+# ----------------------------------------------------------------------
+def test_delete_clears_occupancy_and_keeps_ranks_exact():
+    base = (np.arange(50, dtype=np.uint64) * 3).astype(np.uint64)
+    g = GappedLearnedIndex(base, density=0.75)
+    reference = list(map(int, base))
+    rng = np.random.default_rng(5)
+    for _ in range(30):
+        victim = reference[int(rng.integers(0, len(reference)))]
+        g.delete(np.uint64(victim))
+        reference.remove(victim)
+        g.check_invariants()
+        ref = np.asarray(reference, dtype=np.uint64)
+        assert np.array_equal(g.real_keys(), ref)
+        probes = rng.integers(0, 160, 20).astype(np.uint64)
+        assert np.array_equal(g.rank_batch(probes), np.searchsorted(ref, probes))
+
+
+def test_delete_absent_key_raises():
+    g = GappedLearnedIndex(np.asarray([10, 20, 30], dtype=np.uint64))
+    with pytest.raises(KeyError):
+        g.delete(np.uint64(15))
+    g.delete(np.uint64(20))
+    with pytest.raises(KeyError):
+        g.delete(np.uint64(20))  # already gone (only stale clones remain)
+
+
+def test_delete_duplicates_one_at_a_time():
+    keys = np.asarray([5, 7, 7, 7, 9], dtype=np.uint64)
+    g = GappedLearnedIndex(keys, density=0.6)
+    for remaining in (2, 1, 0):
+        g.delete(np.uint64(7))
+        assert int((g.real_keys() == 7).sum()) == remaining
+    with pytest.raises(KeyError):
+        g.delete(np.uint64(7))
+    assert np.array_equal(g.real_keys(), [5, 9])
+
+
+def test_insert_reclaims_stale_gaps_left_by_deletes():
+    keys = (np.arange(30, dtype=np.uint64) * 10).astype(np.uint64)
+    g = GappedLearnedIndex(keys, density=0.9)
+    reference = list(map(int, keys))
+    rng = np.random.default_rng(9)
+    for step in range(60):
+        if step % 2 == 0 and reference:
+            victim = reference[int(rng.integers(0, len(reference)))]
+            g.delete(np.uint64(victim))
+            reference.remove(victim)
+        else:
+            value = int(rng.integers(0, 300))
+            g.insert(np.uint64(value))
+            reference.append(value)
+        g.check_invariants()
+        assert np.array_equal(
+            g.real_keys(), np.sort(np.asarray(reference, dtype=np.uint64))
+        )
+
+
+def test_compact_respreads_after_updates():
+    keys = (np.arange(100, dtype=np.uint64) * 2).astype(np.uint64)
+    g = GappedLearnedIndex(keys, density=0.75)
+    for k in range(1, 40, 2):
+        g.insert(np.uint64(k))
+    for k in range(0, 30, 4):
+        g.delete(np.uint64(k * 2))
+    live = g.real_keys().copy()
+    g.compact()
+    g.check_invariants(strict_clones=True)
+    assert np.array_equal(g.real_keys(), live)
+    assert g.gap_fraction == pytest.approx(1 - g.density, abs=0.05)
+    assert g.pending == 0

@@ -52,6 +52,39 @@ def test_upper_bound_at_domain_max():
     assert eng.lower_bound(max_val) == 1
 
 
+@pytest.mark.parametrize("float_dtype", [np.float64, np.float32])
+def test_upper_bound_on_float_keys(float_dtype):
+    # regression: np.iinfo(keys.dtype) raised TypeError on float keys
+    keys = np.sort(
+        np.random.default_rng(7).random(2_000).astype(float_dtype) * 1000
+    )
+    keys = np.concatenate([keys, keys[500:503]])  # plant duplicate runs
+    keys.sort(kind="stable")
+    eng = engine_for(keys)
+    probes = np.concatenate([
+        keys[::97],
+        np.asarray([keys[0], keys[-1], 0.0, 1e6], dtype=float_dtype),
+    ])
+    for q in probes:
+        assert eng.lower_bound(q) == int(np.searchsorted(keys, q, "left"))
+        assert eng.upper_bound(q) == int(np.searchsorted(keys, q, "right"))
+        lo, hi = eng.equal_range(q)
+        assert (lo, hi) == (
+            int(np.searchsorted(keys, q, "left")),
+            int(np.searchsorted(keys, q, "right")),
+        )
+
+
+def test_upper_bound_float_extremes():
+    keys = np.asarray([1.5, 2.5, np.finfo(np.float64).max], dtype=np.float64)
+    eng = engine_for(keys)
+    assert eng.upper_bound(np.finfo(np.float64).max) == 3
+    assert eng.upper_bound(np.inf) == 3
+    assert eng.upper_bound(2.5) == 2
+    # the successor of 2.5 is the very next representable double
+    assert eng.lower_bound(np.nextafter(2.5, np.inf)) == 2
+
+
 def test_count_matches_brute_force(wiki_engine):
     keys = wiki_engine.data.keys
     rng = np.random.default_rng(3)

@@ -80,6 +80,53 @@ def test_simple_model_roundtrip(tmp_path, keys):
         )
 
 
+def test_interpolation_roundtrip_is_bit_identical(tmp_path):
+    # regression: _max was reconstructed as num_keys / _scale, which
+    # need not invert the builder's num_keys / span bit-exactly
+    keys = np.asarray([3, 7, 8, 13], dtype=np.uint64)
+    model = InterpolationModel(keys)
+    path = tmp_path / "im.json"
+    save_simple_model(model, path)
+    loaded = load_simple_model(path)
+    assert loaded._min == model._min
+    assert loaded._max == model._max
+    assert loaded._scale == model._scale
+    probes = np.asarray([0, 3, 5, 8, 13, 14, (1 << 50)], dtype=np.uint64)
+    for q in probes:
+        assert loaded.predict_pos(q) == model.predict_pos(q)
+    assert np.array_equal(
+        loaded.predict_pos_batch(probes), model.predict_pos_batch(probes)
+    )
+
+
+def test_simple_model_roundtrip_bit_identical_many_datasets(tmp_path):
+    rng = np.random.default_rng(13)
+    for trial in range(25):
+        n = int(rng.integers(2, 2_000))
+        keys = np.sort(rng.integers(0, 1 << 48, n, dtype=np.uint64))
+        probes = rng.integers(0, 1 << 48, 64, dtype=np.uint64)
+        for model in (InterpolationModel(keys), LinearModel(keys)):
+            path = tmp_path / f"m{trial}.json"
+            save_simple_model(model, path)
+            loaded = load_simple_model(path)
+            assert np.array_equal(
+                loaded.predict_pos_batch(probes),
+                model.predict_pos_batch(probes),
+            ), (trial, model.name)
+            if isinstance(model, InterpolationModel):
+                assert loaded._max == model._max
+
+
+def test_degenerate_interpolation_roundtrip(tmp_path):
+    keys = np.full(5, 42, dtype=np.uint64)  # span 0 => scale 0
+    model = InterpolationModel(keys)
+    path = tmp_path / "flat.json"
+    save_simple_model(model, path)
+    loaded = load_simple_model(path)
+    assert loaded._max == model._max == loaded._min
+    assert loaded.predict_pos(42) == model.predict_pos(42) == 0.0
+
+
 def test_save_simple_model_rejects_big_models(tmp_path, keys):
     from repro.models import RMIModel
 

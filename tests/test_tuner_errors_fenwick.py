@@ -196,3 +196,102 @@ def test_updatable_needs_merge_threshold():
     index.insert(np.uint64(7))
     assert index.needs_merge()
     assert index.pending_inserts == 2
+
+
+def test_updatable_delete_from_buffer_and_base():
+    keys = (np.arange(100, dtype=np.uint64) * 10).astype(np.uint64)
+    index = updatable_index(keys)
+    index.insert(np.uint64(55))
+    assert index.pending_inserts == 1
+    index.delete(np.uint64(55))  # removes the buffered copy, not a tombstone
+    assert index.pending_inserts == 0 and index.pending_deletes == 0
+    index.delete(np.uint64(500))  # tombstones a base key
+    assert index.pending_deletes == 1
+    assert len(index) == 99
+    merged = index.merged_keys()
+    assert 500 not in merged.tolist()
+    assert index.lookup(np.uint64(500)) == int(np.searchsorted(merged, 500))
+
+
+def test_updatable_delete_respects_multiplicity():
+    keys = np.asarray([5, 7, 7, 7, 9], dtype=np.uint64)
+    index = updatable_index(keys)
+    for _ in range(3):
+        index.delete(np.uint64(7))
+    with pytest.raises(KeyError):
+        index.delete(np.uint64(7))
+    with pytest.raises(KeyError):
+        index.delete(np.uint64(6))
+    assert np.array_equal(index.merged_keys(), [5, 9])
+    assert len(index) == 2
+
+
+def test_updatable_mixed_updates_match_oracle():
+    import bisect
+
+    keys = load("wiki64", N, seed=21)
+    index = updatable_index(keys)
+    rng = np.random.default_rng(8)
+    reference = sorted(map(int, keys))
+    lo, hi = int(keys.min()), int(keys.max())
+    for step in range(300):
+        if step % 3 == 2:
+            victim = reference[int(rng.integers(0, len(reference)))]
+            index.delete(np.uint64(victim))
+            reference.remove(victim)
+        else:
+            value = int(lo + rng.random() * (hi - lo))
+            index.insert(np.uint64(value))
+            bisect.insort(reference, value)
+    live = np.asarray(reference, dtype=keys.dtype)
+    assert np.array_equal(index.merged_keys(), live)
+    probes = rng.choice(live, 400)
+    expected = np.searchsorted(live, probes, side="left")
+    got_scalar = np.asarray([index.lookup(q) for q in probes])
+    got_batch = index.lookup_batch(probes)
+    assert np.array_equal(got_scalar, expected)
+    assert np.array_equal(got_batch, expected)
+
+
+def test_updatable_lookup_batch_handles_mismatched_dtypes():
+    keys = np.sort(
+        np.random.default_rng(4).integers(1 << 61, 1 << 63, 2_000,
+                                          dtype=np.uint64)
+    )
+    index = updatable_index(keys)
+    for value in keys[:50]:
+        index.insert(value)  # duplicate the first 50 keys
+    index.delete(keys[60])
+    merged = index.merged_keys()
+    queries = np.concatenate([
+        keys[:100].astype(np.int64) + 1,
+        np.asarray([-5, -1, 0], dtype=np.int64),
+    ])
+    want = np.searchsorted(
+        merged, np.maximum(queries, 0).astype(np.uint64), side="left"
+    )
+    assert np.array_equal(index.lookup_batch(queries), want)
+
+
+def test_updatable_merged_shift_nets_out_deletes():
+    keys = (np.arange(100, dtype=np.uint64) * 10).astype(np.uint64)
+    index = updatable_index(keys)
+    index.insert(np.uint64(55))   # +1 at base position 6
+    index.delete(np.uint64(20))   # -1 at base position 2 (key 20's slot)
+    assert index.merged_shift(2) == 0
+    assert index.merged_shift(3) == -1
+    assert index.merged_shift(6) == -1
+    assert index.merged_shift(7) == 0
+    assert index.pending_updates == 2
+
+
+def test_updatable_needs_merge_counts_deletes():
+    keys = (np.arange(100, dtype=np.uint64) * 10).astype(np.uint64)
+    data = SortedData(keys)
+    model = InterpolationModel(keys)
+    base = CorrectedIndex(data, model, ShiftTable.build(keys, model))
+    index = UpdatableCorrectedIndex(base, merge_threshold=2)
+    index.insert(np.uint64(5))
+    index.delete(np.uint64(30))
+    assert index.pending_updates == 2
+    assert index.needs_merge()
