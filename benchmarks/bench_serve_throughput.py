@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Serving layer: micro-batched + cached async throughput vs unbatched.
+
+Standalone script (not a pytest-benchmark target) so CI can smoke it:
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --smoke
+
+Every phase is oracle-verified against ``np.searchsorted`` over the
+live key array — including the mixed read/write phase, where the result
+cache must stay coherent across server-applied inserts and deletes; the
+driver raises on any mismatch.  See :mod:`repro.bench.serve_throughput`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench.reporting import format_table
+    from repro.bench.serve_throughput import run_serve_bench
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.bench.reporting import format_table
+    from repro.bench.serve_throughput import run_serve_bench
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=200_000,
+                        help="keys in the dataset (default 200k)")
+    parser.add_argument("--dataset", default="uden64")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--model", default="interpolation")
+    parser.add_argument("--layer", default="R", choices=["R", "S", "none"])
+    parser.add_argument("--backend", default="gapped",
+                        choices=["static", "gapped", "fenwick"])
+    parser.add_argument("--clients", type=int, default=64,
+                        help="concurrent closed-loop clients")
+    parser.add_argument("--requests-per-client", type=int, default=256)
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--max-wait-us", type=float, default=200.0)
+    parser.add_argument("--rounds", type=int, default=50,
+                        help="write+read rounds in the mixed phase")
+    parser.add_argument("--reads-per-round", type=int, default=32)
+    parser.add_argument("--writes-per-round", type=int, default=16)
+    parser.add_argument("--point-cache", type=int, default=65536)
+    parser.add_argument("--range-cache", type=int, default=4096)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration (fast, still verified)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n = min(args.n, 40_000)
+        args.clients = min(args.clients, 16)
+        args.requests_per_client = min(args.requests_per_client, 64)
+        args.rounds = min(args.rounds, 6)
+
+    rows = run_serve_bench(
+        n=args.n,
+        dataset=args.dataset,
+        num_shards=args.shards,
+        model=args.model,
+        layer=None if args.layer == "none" else args.layer,
+        backend=args.backend,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        rounds=args.rounds,
+        reads_per_round=args.reads_per_round,
+        writes_per_round=args.writes_per_round,
+        point_cache=args.point_cache,
+        range_cache=args.range_cache,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    table = [
+        [r["mode"], r["requests"], r["qps"], r["p50_us"], r["p99_us"],
+         r["mean_batch"], r["cache_hit_rate"], r["speedup_vs_unbatched"],
+         r["mismatches"]]
+        for r in rows
+    ]
+    print(format_table(
+        ["mode", "requests", "qps", "p50 us", "p99 us", "mean batch",
+         "hit rate", "speedup", "mismatches"],
+        table,
+        title=(f"serving throughput — {args.dataset}, n={args.n:,}, "
+               f"K={args.shards}, backend={args.backend}, "
+               f"batch<= {args.max_batch}, window={args.max_wait_us}us"),
+        float_digits=2,
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,10 @@ Subpackages: ``repro.core`` (Shift-Table, cost model, tuner),
 (binary/linear/exponential/interpolation/TIP), ``repro.algorithmic``
 (ART, FAST, RBS, B+tree), ``repro.hardware`` (the simulated memory
 hierarchy), ``repro.datasets`` (SOSD generators and surrogates),
-``repro.bench`` (the experiment harness behind every table and figure).
+``repro.bench`` (the experiment harness behind every table and figure),
+``repro.engine`` (sharded vectorised batch engine with updatable shard
+backends), ``repro.serve`` (asyncio serving front end: micro-batching,
+write-coherent result caching, telemetry).
 """
 
 from .core import (

@@ -1,0 +1,241 @@
+"""Serving-layer benchmark: micro-batching + caching vs one-at-a-time.
+
+Four phases over the same dataset and model/layer configuration, each a
+row in the result table:
+
+* ``unbatched``      — closed loop, C concurrent clients, ``max_batch=1``:
+  every request pays a full solo trip through the vectorised pipeline.
+  This is the scalar-request baseline the ISSUE's acceptance criterion
+  measures against.
+* ``micro-batched``  — the same closed-loop clients, but requests
+  coalesce inside the batch window, so one dispatch answers ~C requests.
+* ``open-loop``      — every request submitted up front (infinite
+  arrival rate): batches saturate at ``max_batch``, the amortisation
+  ceiling.
+* ``mixed r/w``      — rounds of server-applied inserts/deletes
+  interleaved with concurrent read bursts; the cache persists across
+  rounds, so any missed invalidation surfaces as a mismatch.
+
+**Every phase is oracle-verified**: each answer is compared bit-exactly
+against ``np.searchsorted`` over the live key array (maintained in a
+mirror under writes).  The driver raises if any phase reports a single
+mismatch, so a reported throughput number always comes from a correct
+server.  With the defaults the mixed phase alone serves >100k verified
+queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from ..datasets import load
+from ..engine import ShardedIndex
+from ..serve import IndexServer
+
+
+def _make_stream(
+    rng: np.random.Generator,
+    live_keys: np.ndarray,
+    hot: np.ndarray,
+    count: int,
+    range_fraction: float,
+) -> list[tuple]:
+    """One client's request stream with precomputed oracle answers.
+
+    Points mix hot-set repeats (cacheable), uniform stored keys, and
+    out-of-domain probes; ranges are ``[lo, lo + span)`` over stored
+    keys.  Every entry carries the ``np.searchsorted`` expectation
+    against ``live_keys``.
+    """
+    n_ranges = int(count * range_fraction)
+    n_points = count - n_ranges
+    thirds = n_points // 3
+    points = np.concatenate([
+        rng.choice(hot, thirds),
+        rng.choice(live_keys, thirds),
+        # out-of-domain + miss probes: neighbours of stored keys
+        rng.choice(live_keys, n_points - 2 * thirds) + 1,
+    ])
+    point_truth = np.searchsorted(live_keys, points, side="left")
+    lows = rng.choice(live_keys, n_ranges) if n_ranges else np.empty(0)
+    spans = rng.integers(1, max(2, int(live_keys[-1] // 50)), n_ranges)
+    highs = (lows + spans.astype(live_keys.dtype)) if n_ranges else lows
+    range_truth = (
+        np.searchsorted(live_keys, highs, side="left")
+        - np.searchsorted(live_keys, lows, side="left")
+        if n_ranges else lows
+    )
+    stream = [("p", q, None, int(t)) for q, t in zip(points, point_truth)]
+    stream += [
+        ("r", lo, hi, max(0, int(t)))
+        for lo, hi, t in zip(lows, highs, range_truth)
+    ]
+    rng.shuffle(stream)
+    return stream
+
+
+async def _run_client(server: IndexServer, stream: list[tuple]) -> int:
+    """Closed-loop client; returns its mismatch count."""
+    mismatches = 0
+    for kind, a, b, expect in stream:
+        got = await (server.lookup(a) if kind == "p" else server.range(a, b))
+        if got != expect:
+            mismatches += 1
+    return mismatches
+
+
+def _row(mode: str, server: IndexServer, requests: int, seconds: float,
+         mismatches: int) -> dict[str, object]:
+    snap = server.stats.snapshot()
+    return {
+        "mode": mode,
+        "requests": requests,
+        "seconds": seconds,
+        "qps": requests / seconds if seconds > 0 else float("inf"),
+        "p50_us": snap["p50_us"],
+        "p99_us": snap["p99_us"],
+        "mean_batch": snap["mean_batch"],
+        "cache_hit_rate": snap["cache_hit_rate"],
+        "mismatches": mismatches,
+    }
+
+
+def run_serve_bench(
+    n: int = 200_000,
+    dataset: str = "uden64",
+    num_shards: int = 8,
+    model: str = "interpolation",
+    layer: str | None = "R",
+    backend: str = "gapped",
+    clients: int = 64,
+    requests_per_client: int = 256,
+    max_batch: int = 256,
+    max_wait_us: float = 200.0,
+    rounds: int = 50,
+    reads_per_round: int = 32,
+    writes_per_round: int = 16,
+    point_cache: int = 65536,
+    range_cache: int = 4096,
+    workers: int = 1,
+    seed: int = 42,
+    range_fraction: float = 0.25,
+    hot_keys: int = 4096,
+) -> list[dict[str, object]]:
+    """Run all four serving phases; returns one verified row per phase."""
+    keys = load(dataset, n, seed)
+    rng = np.random.default_rng(seed + 1)
+    hot = rng.choice(keys, min(hot_keys, len(keys)))
+
+    def build() -> ShardedIndex:
+        return ShardedIndex.build(
+            keys, num_shards, model=model, layer=layer, backend=backend,
+            name=f"{dataset}-serve",
+        )
+
+    rows: list[dict[str, object]] = []
+
+    # --- closed-loop and open-loop read phases ------------------------
+    read_index = build()
+
+    async def closed_loop(server: IndexServer) -> tuple[int, float, int]:
+        streams = [
+            _make_stream(np.random.default_rng(seed + 100 + c), keys, hot,
+                         requests_per_client, range_fraction)
+            for c in range(clients)
+        ]
+        async with server:
+            t0 = time.perf_counter()
+            mismatches = sum(await asyncio.gather(
+                *[_run_client(server, s) for s in streams]
+            ))
+            seconds = time.perf_counter() - t0
+        return clients * requests_per_client, seconds, mismatches
+
+    async def open_loop(server: IndexServer) -> tuple[int, float, int]:
+        # submit in waves of a few batch windows: models an unbounded
+        # arrival rate without paying for tens of thousands of
+        # simultaneously-live tasks
+        stream = _make_stream(np.random.default_rng(seed + 7), keys, hot,
+                              clients * requests_per_client, range_fraction)
+        wave = max_batch * 4
+        mismatches = 0
+        async with server:
+            t0 = time.perf_counter()
+            for start in range(0, len(stream), wave):
+                part = stream[start : start + wave]
+                answers = await asyncio.gather(*[
+                    server.lookup(a) if kind == "p" else server.range(a, b)
+                    for kind, a, b, _ in part
+                ])
+                mismatches += sum(
+                    got != expect
+                    for got, (_, _, _, expect) in zip(answers, part)
+                )
+            seconds = time.perf_counter() - t0
+        return len(stream), seconds, mismatches
+
+    for mode, batch, phase in (
+        ("unbatched", 1, closed_loop),
+        ("micro-batched", max_batch, closed_loop),
+        ("open-loop", max_batch, open_loop),
+    ):
+        server = IndexServer(
+            read_index, max_batch=batch, max_wait_us=max_wait_us,
+            workers=workers, point_cache=point_cache, range_cache=range_cache,
+        )
+        requests, seconds, mismatches = asyncio.run(phase(server))
+        rows.append(_row(mode, server, requests, seconds, mismatches))
+
+    # --- mixed read/write phase ---------------------------------------
+    mixed_index = build()
+    server = IndexServer(
+        mixed_index, max_batch=max_batch, max_wait_us=max_wait_us,
+        workers=workers, point_cache=point_cache, range_cache=range_cache,
+    )
+
+    async def mixed() -> tuple[int, float, int]:
+        wrng = np.random.default_rng(seed + 13)
+        live = keys.copy()
+        served = 0
+        mismatches = 0
+        async with server:
+            t0 = time.perf_counter()
+            for r in range(rounds):
+                for _ in range(writes_per_round // 2):
+                    victim = live[int(wrng.integers(0, len(live)))]
+                    await server.delete(victim)
+                    live = np.delete(
+                        live, np.searchsorted(live, victim, side="left")
+                    )
+                for _ in range(writes_per_round - writes_per_round // 2):
+                    fresh = keys[int(wrng.integers(0, len(keys)))] + 1
+                    await server.insert(fresh)
+                    live = np.insert(
+                        live, np.searchsorted(live, fresh, side="left"), fresh
+                    )
+                streams = [
+                    _make_stream(np.random.default_rng(seed + 1000 + r * clients + c),
+                                 live, hot, reads_per_round, range_fraction)
+                    for c in range(clients)
+                ]
+                mismatches += sum(await asyncio.gather(
+                    *[_run_client(server, s) for s in streams]
+                ))
+                served += clients * reads_per_round + writes_per_round
+            seconds = time.perf_counter() - t0
+        return served, seconds, mismatches
+
+    requests, seconds, mismatches = asyncio.run(mixed())
+    rows.append(_row("mixed r/w", server, requests, seconds, mismatches))
+
+    base = rows[0]["qps"]
+    for row in rows:
+        row["speedup_vs_unbatched"] = float(row["qps"]) / float(base)
+        if row["mismatches"]:
+            raise AssertionError(
+                f"{row['mode']} served {row['mismatches']} wrong answers"
+            )
+    return rows

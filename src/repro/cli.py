@@ -11,6 +11,7 @@ reproduction can be poked without writing Python:
 * ``engine-bench`` — scalar vs vectorized vs sharded batch throughput
 * ``engine-plan``  — EXPLAIN a query batch against a sharded index
 * ``engine-update-bench`` — mixed read/write workload across backends
+* ``serve-bench``  — async serving: micro-batching + caching vs unbatched
 """
 
 from __future__ import annotations
@@ -241,6 +242,52 @@ def _cmd_engine_update_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .bench.serve_throughput import run_serve_bench
+
+    if args.smoke:
+        args.n = min(args.n or 40_000, 40_000)
+        args.clients = min(args.clients, 16)
+        args.requests_per_client = min(args.requests_per_client, 64)
+        args.rounds = min(args.rounds, 6)
+
+    rows = run_serve_bench(
+        n=args.n or 200_000,
+        dataset=args.dataset,
+        num_shards=args.shards,
+        model=args.model,
+        layer=None if args.layer == "none" else args.layer,
+        backend=args.backend,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        rounds=args.rounds,
+        reads_per_round=args.reads_per_round,
+        writes_per_round=args.writes_per_round,
+        point_cache=args.point_cache,
+        range_cache=args.range_cache,
+        workers=args.workers,
+        seed=args.seed if args.seed is not None else 42,
+    )
+    table = [
+        [r["mode"], r["requests"], r["qps"], r["p50_us"], r["p99_us"],
+         r["mean_batch"], r["cache_hit_rate"], r["speedup_vs_unbatched"],
+         r["mismatches"]]
+        for r in rows
+    ]
+    print(format_table(
+        ["mode", "requests", "qps", "p50 us", "p99 us", "mean batch",
+         "hit rate", "speedup", "mismatches"],
+        table, title=f"serving throughput — {args.dataset}", float_digits=2,
+    ))
+    batched = next(r for r in rows if r["mode"] == "micro-batched")
+    print(f"micro-batching speedup vs unbatched closed loop: "
+          f"{batched['speedup_vs_unbatched']:.1f}x "
+          f"(every phase oracle-verified, zero mismatches)")
+    return 0
+
+
 def _cmd_engine_plan(args: argparse.Namespace) -> int:
     from .datasets import load
     from .engine import BatchExecutor, ShardedIndex
@@ -312,6 +359,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(p)
     _add_common(p)
     p.set_defaults(fn=_cmd_engine_plan)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="async serving throughput: micro-batched + cached vs "
+             "one-request-at-a-time, oracle-verified",
+    )
+    p.add_argument("--dataset", default="uden64")
+    p.add_argument("--backend", default="gapped",
+                   choices=["static", "gapped", "fenwick"],
+                   help="shard storage backend (default gapped: cheap writes)")
+    p.add_argument("--clients", type=int, default=64,
+                   help="concurrent closed-loop clients (default 64)")
+    p.add_argument("--requests-per-client", type=int, default=256,
+                   help="requests per client in the read phases")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="micro-batch size bound")
+    p.add_argument("--max-wait-us", type=float, default=200.0,
+                   help="micro-batch window in microseconds")
+    p.add_argument("--rounds", type=int, default=50,
+                   help="write+read rounds in the mixed phase")
+    p.add_argument("--reads-per-round", type=int, default=32,
+                   help="reads per client per mixed round")
+    p.add_argument("--writes-per-round", type=int, default=16,
+                   help="server-applied inserts+deletes per mixed round")
+    p.add_argument("--point-cache", type=int, default=65536,
+                   help="point-result LRU capacity (0 disables)")
+    p.add_argument("--range-cache", type=int, default=4096,
+                   help="range-result LRU capacity (0 disables)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny CI configuration (fast, still verified)")
+    _add_engine_options(p)
+    _add_common(p)
+    # serving batches are small (~clients per flush); on one core fewer
+    # shards means fewer fixed-cost pipeline passes per dispatch
+    p.set_defaults(fn=_cmd_serve_bench, shards=2)
 
     p = sub.add_parser(
         "engine-update-bench",

@@ -23,7 +23,7 @@ from .backends import (
 )
 from .executor import MODES, BatchExecutor
 from .plan import ExecutionPlan, ShardSlice
-from .sharded import LAYER_MODES, ShardedIndex, snap_offsets
+from .sharded import LAYER_MODES, ShardedIndex, WriteEvent, snap_offsets
 
 __all__ = [
     "BACKEND_KINDS",
@@ -38,5 +38,6 @@ __all__ = [
     "ShardSlice",
     "ShardedIndex",
     "StaticBackend",
+    "WriteEvent",
     "snap_offsets",
 ]

@@ -144,6 +144,14 @@ class BatchExecutor:
             return out
 
         index = self.index
+        if len(index._nonempty) == 1:
+            # one live shard: routing, grouping and scatter are all
+            # identity — skip them (the serving layer's small batches
+            # are dominated by exactly this fixed overhead)
+            s = int(index._nonempty[0])
+            shard = index.shards[s]
+            out[:] = shard.lookup_batch(queries) + int(index.offsets[s])
+            return out
         shard_ids = index.route_batch(queries)
         order = np.argsort(shard_ids, kind="stable")
         sorted_ids = shard_ids[order]

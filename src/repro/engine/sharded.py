@@ -38,6 +38,10 @@ target shard size.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
 import numpy as np
 
 from ..core.corrected_index import CorrectedIndex
@@ -55,6 +59,37 @@ from .backends import (
 
 #: Correction-layer modes a shard can be built with.
 LAYER_MODES = ("R", "S", None)
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One observed mutation, delivered to registered write listeners.
+
+    ``span`` is the *inclusive* key interval the write may have touched:
+    the mutated shard's routing interval widened to contain ``key``
+    (``span[1] is None`` means unbounded above — the last shard).
+    Content-changing kinds are ``"insert"`` and ``"delete"``;
+    ``"refresh"`` folds buffered updates back without changing the
+    logical key sequence, so listeners caching *answers* can ignore it.
+    Refreshes and shard splits/drains preserve content and therefore
+    never produce their own events.
+    """
+
+    kind: str
+    shard: int
+    key: object | None = None
+    span: tuple | None = None
+
+    def overlaps(self, lo, hi) -> bool:
+        """Whether a ``lo <= key < hi`` range can see this write.
+
+        Conservative: ``refresh`` events (no ``span``) report no
+        overlap because they never change the logical key sequence.
+        """
+        if self.span is None:
+            return False
+        span_lo, span_hi = self.span
+        return bool(hi > span_lo) and (span_hi is None or bool(lo <= span_hi))
 
 
 def snap_offsets(keys: np.ndarray, num_shards: int) -> np.ndarray:
@@ -119,6 +154,13 @@ class ShardedIndex:
             raise ValueError("a ShardedIndex needs at least one key")
         #: build-time keys per shard; a shard splits once it doubles this
         self._target_shard_keys = max(1, len(keys) // max(1, self.num_shards))
+        #: serialises mutations: concurrent threaded writers queue up here
+        #: instead of corrupting the offsets/shard state (ROADMAP's
+        #: single-writer limitation).  Reads stay lock-free — they are
+        #: only safe concurrently with writes when an outer layer (e.g.
+        #: the asyncio serving front end) orders them onto one thread.
+        self._write_lock = threading.RLock()
+        self._write_listeners: list[Callable[[WriteEvent], None]] = []
         self._refresh_routing()
 
     # ------------------------------------------------------------------
@@ -274,6 +316,49 @@ class ShardedIndex:
             return self.key_dtype.type(as_int)
         return self.key_dtype.type(key)
 
+    def add_write_listener(self, fn: Callable[[WriteEvent], None]) -> None:
+        """Register ``fn`` to observe every mutation (cache invalidation).
+
+        Listeners run synchronously at the end of :meth:`insert` /
+        :meth:`delete` / :meth:`refresh`, while the write lock is still
+        held, so a listener always sees the post-write index state and
+        never interleaves with another writer.
+        """
+        self._write_listeners.append(fn)
+
+    def remove_write_listener(self, fn: Callable[[WriteEvent], None]) -> None:
+        """Unregister a listener added with :meth:`add_write_listener`."""
+        self._write_listeners.remove(fn)
+
+    def _notify(self, event: WriteEvent) -> None:
+        for fn in self._write_listeners:
+            fn(event)
+
+    def shard_span(self, s: int) -> tuple | None:
+        """Inclusive key span shard ``s`` answers for (None when empty).
+
+        The upper bound is the next non-empty shard's minimum key —
+        every key in shard ``s`` is strictly below it because duplicate
+        runs never straddle a cut — or ``None`` (unbounded) for the last
+        shard.  Cheap: no shard key materialisation.
+        """
+        shard = self.shards[s]
+        if shard is None or len(shard) == 0:
+            return None
+        lo = shard.min_key()
+        for t in self._nonempty:
+            if int(t) > s:
+                return (lo, self.shards[int(t)].min_key())
+        return (lo, None)
+
+    def _write_span(self, s: int, key) -> tuple:
+        """The :class:`WriteEvent` span for a write of ``key`` to shard ``s``."""
+        span = self.shard_span(s)
+        if span is None:  # the write drained the shard: only ``key`` moved
+            return (key, key)
+        lo, hi = span
+        return (min(lo, key), None if hi is None else max(hi, key))
+
     def insert(self, key) -> int:
         """Insert ``key`` into its shard; returns the shard id.
 
@@ -283,25 +368,28 @@ class ShardedIndex:
         doubled its build-time size) when the backend's slack runs out.
         """
         key = self._cast_key(key)
-        if len(self._nonempty) == 0:
-            # every key was deleted: re-seed the first shard
-            s = 0
-            self.shards[0] = make_backend(
-                self.backend_kind, np.asarray([key], dtype=self.key_dtype),
-                self.config, name=f"{self.name}_s0",
-            )
-            self.offsets[1:] += 1
+        with self._write_lock:
+            if len(self._nonempty) == 0:
+                # every key was deleted: re-seed the first shard
+                self.shards[0] = make_backend(
+                    self.backend_kind, np.asarray([key], dtype=self.key_dtype),
+                    self.config, name=f"{self.name}_s0",
+                )
+                self.offsets[1:] += 1
+                self._keys_dirty = True
+                self._refresh_routing()
+                self._notify(WriteEvent("insert", 0, key, (key, None)))
+                return 0
+            s = int(self.route_batch(np.asarray([key]))[0])
+            shard = self.shards[s]
+            assert shard is not None, "router targeted an empty shard"
+            shard.insert(key)
+            self.offsets[s + 1 :] += 1
             self._keys_dirty = True
-            self._refresh_routing()
-            return 0
-        s = int(self.route_batch(np.asarray([key]))[0])
-        shard = self.shards[s]
-        assert shard is not None, "router targeted an empty shard"
-        shard.insert(key)
-        self.offsets[s + 1 :] += 1
-        self._keys_dirty = True
-        self._maybe_maintain(s)
-        return s
+            span = self._write_span(s, key)
+            self._maybe_maintain(s)
+            self._notify(WriteEvent("insert", s, key, span))
+            return s
 
     def delete(self, key) -> int:
         """Delete one occurrence of ``key``; returns the shard id.
@@ -313,27 +401,33 @@ class ShardedIndex:
             key = self._cast_key(key)
         except ValueError:
             raise KeyError(key) from None
-        if len(self._nonempty) == 0:
-            raise KeyError(key)
-        s = int(self.route_batch(np.asarray([key]))[0])
-        shard = self.shards[s]
-        assert shard is not None, "router targeted an empty shard"
-        shard.delete(key)
-        self.offsets[s + 1 :] -= 1
-        self._keys_dirty = True
-        if len(shard) == 0:
-            self.shards[s] = None
-            self._refresh_routing()
-        else:
-            # delete-heavy workloads accumulate tombstones too: give the
-            # backend its amortised merge when the slack runs out
-            self._maybe_maintain(s)
-        return s
+        with self._write_lock:
+            if len(self._nonempty) == 0:
+                raise KeyError(key)
+            s = int(self.route_batch(np.asarray([key]))[0])
+            shard = self.shards[s]
+            assert shard is not None, "router targeted an empty shard"
+            shard.delete(key)
+            self.offsets[s + 1 :] -= 1
+            self._keys_dirty = True
+            # span before maintenance: a split can re-home ``key``'s run
+            span = self._write_span(s, key)
+            if len(shard) == 0:
+                self.shards[s] = None
+                self._refresh_routing()
+            else:
+                # delete-heavy workloads accumulate tombstones too: give the
+                # backend its amortised merge when the slack runs out
+                self._maybe_maintain(s)
+            self._notify(WriteEvent("delete", s, key, span))
+            return s
 
     def refresh(self) -> None:
         """Fold pending updates back into every shard (amortised rebuild)."""
-        for s in self._nonempty:
-            self.shards[int(s)].refresh()
+        with self._write_lock:
+            for s in self._nonempty:
+                self.shards[int(s)].refresh()
+            self._notify(WriteEvent("refresh", -1))
 
     def _maybe_maintain(self, s: int) -> None:
         """Split an outgrown shard; refresh one whose slack ran out."""

@@ -1,0 +1,32 @@
+"""Async serving front end: micro-batching + result caching + telemetry.
+
+Turns the sharded batch engine into something that can take traffic:
+
+>>> from repro.engine import ShardedIndex
+>>> from repro.serve import IndexServer
+>>> server = IndexServer(ShardedIndex.build(keys, num_shards=8))
+>>> position = await server.lookup(q)        # micro-batched + cached
+>>> count = await server.range(lo, hi)       # shard-aware cached
+>>> await server.insert(new_key)             # drains + invalidates
+
+See :mod:`repro.serve.server` for the coherence model,
+:mod:`repro.serve.batcher` for the time/size flush policy and
+:mod:`repro.serve.cache` for why point and range answers invalidate
+differently under writes.
+"""
+
+from .batcher import KINDS, BatchQueue, MicroBatcher, Request
+from .cache import ResultCache, scalar
+from .server import IndexServer
+from .stats import ServerStats
+
+__all__ = [
+    "BatchQueue",
+    "IndexServer",
+    "KINDS",
+    "MicroBatcher",
+    "Request",
+    "ResultCache",
+    "ServerStats",
+    "scalar",
+]

@@ -1,0 +1,210 @@
+"""LRU result caches with write-coherent, shard-aware invalidation.
+
+Two caches with different coherence rules, matching what each answer
+*means* under writes:
+
+* **Point cache** — ``q -> global lower-bound position``.  Positions are
+  rank-valued: writing key ``k`` shifts the rank of every query strictly
+  above ``k`` (``lower_bound(q)`` counts keys ``< q``), while entries
+  with ``q <= k`` provably keep their answer.  Rather than scanning the
+  cache on every write, staleness is checked *lazily* with write
+  cutoffs: each write appends ``(k, stamp)`` to a monotone cutoff
+  frontier (later writes dominate earlier ones at equal-or-higher
+  keys, so the frontier stays ascending in both key and stamp and
+  appends are amortised O(1)), and a hit is served only if no cutoff
+  below the query post-dates the entry — one bisect per get.  Stale
+  entries are dropped on access or cycled out by LRU eviction.
+* **Range cache** — ``(lo, hi) -> cardinality of lo <= key < hi``.
+  Cardinalities are value-domain: writing ``k`` only changes counts of
+  ranges that *contain* ``k``.  Since ``k`` always lies inside the
+  mutated shard's key span, invalidation is shard-aware and eager: a
+  write to shard ``j`` drops exactly the cached ranges overlapping
+  shard ``j``'s span (:meth:`~repro.engine.sharded.WriteEvent.overlaps`),
+  and cached ranges over other shards' spans survive, still exact.
+
+``refresh`` events never invalidate anything: folding buffered updates
+back into a shard changes the physical layout but not the logical key
+sequence, so every cached answer stays correct.
+
+One caller obligation makes the lazy point check sound: do not ``put``
+an answer that was *computed before* a write which has already reached
+:meth:`ResultCache.on_write` — the entry would carry a fresh stamp but
+a pre-write rank.  :class:`~repro.serve.server.IndexServer` enforces
+this with its write-epoch guard (reads that raced a write skip the
+cache fill).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import OrderedDict
+
+from ..engine.sharded import WriteEvent
+
+
+def scalar(value):
+    """Canonical python-scalar cache key for a numpy or python number."""
+    return value.item() if hasattr(value, "item") else value
+
+
+class ResultCache:
+    """Bounded LRU point/range caches wired to index write events.
+
+    Pass a capacity of ``0`` to disable either side.  Register
+    :meth:`on_write` with
+    :meth:`~repro.engine.sharded.ShardedIndex.add_write_listener` to
+    keep the cache coherent under writes.
+    """
+
+    #: cutoff-frontier bound: append-only write patterns (monotonically
+    #: increasing keys — the canonical learned-index ingest) never
+    #: trigger the domination pop, so past this length adjacent cutoffs
+    #: are merged pairwise.  Merging (k0, s0)+(k1, s1) -> (k0, s1)
+    #: poisons a *superset* (entries in (k0, k1] see the newer stamp),
+    #: so hits stay exact — the frontier just over-invalidates slightly.
+    MAX_CUTOFFS = 4096
+
+    def __init__(
+        self, point_capacity: int = 65536, range_capacity: int = 4096
+    ) -> None:
+        if point_capacity < 0 or range_capacity < 0:
+            raise ValueError("cache capacities must be >= 0")
+        self.point_capacity = point_capacity
+        self.range_capacity = range_capacity
+        self._points: OrderedDict = OrderedDict()  # key -> (position, stamp)
+        self._ranges: OrderedDict = OrderedDict()  # (lo, hi) -> cardinality
+        self._stamp = 0  # bumps once per observed write
+        self._cut_keys: list = []    # cutoff frontier: ascending keys ...
+        self._cut_stamps: list = []  # ... with ascending write stamps
+        self.point_hits = 0
+        self.point_misses = 0
+        self.range_hits = 0
+        self.range_misses = 0
+        self.invalidated_points = 0
+        self.invalidated_ranges = 0
+
+    def __len__(self) -> int:
+        return len(self._points) + len(self._ranges)
+
+    # ------------------------------------------------------------------
+    # point side: q -> global position, lazy cutoff staleness
+    # ------------------------------------------------------------------
+    def _stale_point(self, key, stamp: int) -> bool:
+        """Did any write strictly below ``key`` land after ``stamp``?"""
+        i = bisect_left(self._cut_keys, key)
+        return i > 0 and self._cut_stamps[i - 1] > stamp
+
+    def get_point(self, q):
+        """Cached global position of ``q`` (None on miss or stale hit)."""
+        key = scalar(q)
+        entry = self._points.get(key)
+        if entry is not None:
+            position, stamp = entry
+            if not self._stale_point(key, stamp):
+                self._points.move_to_end(key)
+                self.point_hits += 1
+                return position
+            del self._points[key]  # a write shifted this rank: drop it
+            self.invalidated_points += 1
+        self.point_misses += 1
+        return None
+
+    def put_point(self, q, position: int) -> None:
+        if self.point_capacity == 0:
+            return
+        key = scalar(q)
+        if key in self._points:
+            self._points.move_to_end(key)
+        elif len(self._points) >= self.point_capacity:
+            self._points.popitem(last=False)
+        self._points[key] = (int(position), self._stamp)
+
+    # ------------------------------------------------------------------
+    # range side: (lo, hi) -> cardinality, eager shard-aware drop
+    # ------------------------------------------------------------------
+    def get_range(self, lo, hi):
+        """Cached cardinality of ``lo <= key < hi`` (None on miss)."""
+        key = (scalar(lo), scalar(hi))
+        count = self._ranges.get(key)
+        if count is None:
+            self.range_misses += 1
+            return None
+        self._ranges.move_to_end(key)
+        self.range_hits += 1
+        return count
+
+    def put_range(self, lo, hi, count: int) -> None:
+        if self.range_capacity == 0:
+            return
+        key = (scalar(lo), scalar(hi))
+        if key in self._ranges:
+            self._ranges.move_to_end(key)
+        elif len(self._ranges) >= self.range_capacity:
+            self._ranges.popitem(last=False)
+        self._ranges[key] = int(count)
+
+    # ------------------------------------------------------------------
+    # coherence
+    # ------------------------------------------------------------------
+    def on_write(self, event: WriteEvent) -> tuple[int, int]:
+        """Absorb one write; returns (point cutoffs, ranges dropped).
+
+        Point entries are not touched here — the new cutoff poisons
+        every entry below it lazily (see :meth:`get_point`).  Cached
+        ranges overlapping the mutated shard's span are dropped eagerly.
+        """
+        if event.kind == "refresh" or event.span is None:
+            return (0, 0)  # logical key sequence unchanged
+        self._stamp += 1
+        key = scalar(event.key)
+        # the frontier stays ascending: a new write at key k dominates
+        # every older cutoff at or above k (same or wider poison set,
+        # strictly newer stamp)
+        while self._cut_keys and self._cut_keys[-1] >= key:
+            self._cut_keys.pop()
+            self._cut_stamps.pop()
+        self._cut_keys.append(key)
+        self._cut_stamps.append(self._stamp)
+        if len(self._cut_keys) > self.MAX_CUTOFFS:
+            last = len(self._cut_stamps) - 1
+            self._cut_keys = self._cut_keys[::2]
+            self._cut_stamps = [
+                self._cut_stamps[min(i + 1, last)]
+                for i in range(0, last + 1, 2)
+            ]
+        dead = [rk for rk in self._ranges if event.overlaps(rk[0], rk[1])]
+        for rk in dead:
+            del self._ranges[rk]
+        self.invalidated_ranges += len(dead)
+        return (1, len(dead))
+
+    def clear(self) -> None:
+        self._points.clear()
+        self._ranges.clear()
+        self._cut_keys.clear()
+        self._cut_stamps.clear()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Combined hit fraction over every get (0.0 before any get)."""
+        total = (
+            self.point_hits + self.point_misses
+            + self.range_hits + self.range_misses
+        )
+        return (self.point_hits + self.range_hits) / total if total else 0.0
+
+    def info(self) -> dict[str, object]:
+        return {
+            "points": len(self._points),
+            "ranges": len(self._ranges),
+            "point_hits": self.point_hits,
+            "point_misses": self.point_misses,
+            "range_hits": self.range_hits,
+            "range_misses": self.range_misses,
+            "invalidated_points": self.invalidated_points,
+            "invalidated_ranges": self.invalidated_ranges,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,234 @@
+"""The asyncio serving front end over the sharded batch engine.
+
+:class:`IndexServer` is what a network handler would call: concurrent
+``lookup``/``range`` coroutines are micro-batched through the vectorised
+:class:`~repro.engine.executor.BatchExecutor`
+(:mod:`repro.serve.batcher`), answered from a write-coherent LRU
+:class:`~repro.serve.cache.ResultCache` when possible, and accounted in
+:class:`~repro.serve.stats.ServerStats`.
+
+Coherence model (single event loop):
+
+* **Writes are read barriers.**  ``insert``/``delete`` first drain the
+  pending micro-batch, so every request admitted before a write is
+  answered against the pre-write index; requests submitted after it see
+  the post-write index.
+* **Invalidation is synchronous.**  The server registers a write
+  listener on the :class:`~repro.engine.sharded.ShardedIndex`; by the
+  time a write call returns, stale cache entries are gone (point
+  entries above the written key, cached ranges overlapping the mutated
+  shard's span — see :mod:`repro.serve.cache`).
+* **Stale fills cannot sneak in.**  A write bumps an epoch counter;
+  a read only caches its answer if no write landed while it was in
+  flight, closing the resolve-then-cache race.
+
+Backpressure: at most ``max_inflight`` requests may be waiting on the
+executor; beyond that, new requests park on a FIFO of waiter events
+(counted in ``stats.backpressure_waits``) instead of growing the batch
+queue without bound.  Claiming a free slot is a plain counter
+decrement — the await machinery only engages once the server
+saturates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from ..core.corrected_index import CorrectedIndex
+from ..engine.executor import BatchExecutor
+from ..engine.sharded import ShardedIndex, WriteEvent
+from .batcher import MicroBatcher
+from .cache import ResultCache, scalar
+from .stats import ServerStats
+
+
+class IndexServer:
+    """Async point/range serving over a (sharded) learned index."""
+
+    def __init__(
+        self,
+        index: ShardedIndex | CorrectedIndex,
+        max_batch: int = 256,
+        max_wait_us: float = 200.0,
+        workers: int = 1,
+        point_cache: int = 65536,
+        range_cache: int = 4096,
+        max_inflight: int = 8192,
+        stats: ServerStats | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.executor = BatchExecutor(index, workers=workers)
+        self.index = self.executor.index
+        self.stats = stats if stats is not None else ServerStats()
+        self.cache = ResultCache(point_cache, range_cache)
+        self.batcher = MicroBatcher(
+            self.executor, max_batch=max_batch, max_wait_us=max_wait_us,
+            stats=self.stats,
+        )
+        self.max_inflight = max_inflight
+        self._write_epoch = 0
+        # backpressure slots: a plain counter (sync fast path — no
+        # coroutine allocation per request) plus a FIFO of waiter
+        # events, only touched once the server saturates
+        self._slots = max_inflight
+        self._slot_waiters: deque = deque()
+        self.index.add_write_listener(self._on_write)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    async def lookup(self, q) -> int:
+        """Global lower-bound position of ``q`` (cache, then micro-batch)."""
+        self.stats.request_started()
+        try:
+            cached = self.cache.get_point(q)
+            if cached is not None:
+                self.stats.record_cache_hit()
+                return cached
+            epoch = self._write_epoch
+            if self._slots > 0:  # uncontended: skip the await machinery
+                self._slots -= 1
+            else:
+                await self._take_slot()
+            try:
+                position = await self.batcher.lookup(q)
+            finally:
+                self._release_slot()
+            if epoch == self._write_epoch:  # no write raced the dispatch
+                self.cache.put_point(q, position)
+            return position
+        finally:
+            self.stats.request_finished()
+
+    async def range(self, lo, hi) -> int:
+        """Cardinality of ``lo <= key < hi`` (cache, then micro-batch).
+
+        Range answers are served as cardinalities — value-domain, hence
+        immune to the global rank shifts that writes to *other* shards
+        cause — which is what makes shard-aware cache invalidation
+        exact.  Use :meth:`range_positions` for the raw bounds.
+        """
+        self.stats.request_started()
+        try:
+            cached = self.cache.get_range(lo, hi)
+            if cached is not None:
+                self.stats.record_cache_hit()
+                return cached
+            epoch = self._write_epoch
+            if self._slots > 0:
+                self._slots -= 1
+            else:
+                await self._take_slot()
+            try:
+                first, last = await self.batcher.range(lo, hi)
+            finally:
+                self._release_slot()
+            count = last - first
+            if epoch == self._write_epoch:
+                self.cache.put_range(lo, hi, count)
+            return count
+        finally:
+            self.stats.request_finished()
+
+    async def range_positions(self, lo, hi) -> tuple[int, int]:
+        """``[first, last)`` global positions of a range (uncached)."""
+        self.stats.request_started()
+        try:
+            if self._slots > 0:
+                self._slots -= 1
+            else:
+                await self._take_slot()
+            try:
+                return await self.batcher.range(lo, hi)
+            finally:
+                self._release_slot()
+        finally:
+            self.stats.request_finished()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    async def insert(self, key) -> int:
+        """Insert ``key``; pending reads flush first (write barrier)."""
+        await self.batcher.drain()
+        return self.index.insert(key)
+
+    async def delete(self, key) -> int:
+        """Delete one occurrence of ``key``; pending reads flush first."""
+        await self.batcher.drain()
+        return self.index.delete(key)
+
+    async def refresh(self) -> None:
+        """Fold buffered updates into every shard (no cache impact)."""
+        await self.batcher.drain()
+        self.index.refresh()
+
+    def _on_write(self, event: WriteEvent) -> None:
+        if event.kind == "refresh":
+            return  # logical key sequence unchanged: cache stays valid
+        self._write_epoch += 1
+        dropped_points, dropped_ranges = self.cache.on_write(event)
+        self.stats.record_write(dropped_points, dropped_ranges)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    async def _take_slot(self) -> None:
+        """Claim a dispatch slot, queueing once ``max_inflight`` is hit."""
+        while self._slots <= 0:
+            self.stats.backpressure_waits += 1
+            waiter = asyncio.Event()
+            self._slot_waiters.append(waiter)
+            try:
+                await waiter.wait()
+            except asyncio.CancelledError:
+                # don't strand the queue: a wakeup consumed by a
+                # cancelled waiter must pass to the next one, and an
+                # unconsumed waiter must not absorb a future wakeup
+                if waiter.is_set():
+                    self._wake_next_waiter()
+                else:
+                    self._slot_waiters.remove(waiter)
+                raise
+        self._slots -= 1
+
+    def _wake_next_waiter(self) -> None:
+        if self._slot_waiters and self._slots > 0:
+            self._slot_waiters.popleft().set()
+
+    def _release_slot(self) -> None:
+        self._slots += 1
+        self._wake_next_waiter()
+
+    async def drain(self) -> None:
+        """Flush the micro-batch queue without writing anything."""
+        await self.batcher.drain()
+
+    async def close(self) -> None:
+        """Flush pending requests, detach from the index, stop the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.batcher.drain()
+        self.index.remove_write_listener(self._on_write)
+        self.executor.close()
+
+    async def __aenter__(self) -> "IndexServer":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def describe(self) -> str:
+        """One-screen server + cache + index summary."""
+        info = self.index.build_info()
+        head = ", ".join(f"{k}={v}" for k, v in info.items())
+        cache = ", ".join(f"{k}={v}" for k, v in self.cache.info().items())
+        return f"index: {head}\ncache: {cache}\n{self.stats.describe()}"
+
+
+# keep the canonical cache-key helper importable from the server module
+__all__ = ["IndexServer", "scalar"]

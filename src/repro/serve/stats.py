@@ -1,0 +1,120 @@
+"""Serving telemetry: latency percentiles, batch shapes, cache health.
+
+:class:`ServerStats` is deliberately boring — bounded-memory counters a
+hot path can feed with O(1) appends.  Latencies go into a fixed-size
+ring (oldest samples fall off under sustained load, which is what a
+serving dashboard wants anyway); batch sizes into a histogram dict;
+cache and backpressure activity into plain counters.  ``snapshot()``
+renders the lot into one flat dict the CLI and benchmarks print.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+import numpy as np
+
+
+class ServerStats:
+    """Aggregated serving metrics (latency ring, histograms, counters)."""
+
+    def __init__(self, latency_window: int = 65536) -> None:
+        self._latencies: deque = deque(maxlen=latency_window)
+        self.batch_sizes: Counter = Counter()
+        self.served = 0
+        self.cache_hits = 0
+        self.writes = 0
+        self.invalidated_points = 0
+        self.invalidated_ranges = 0
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.backpressure_waits = 0
+
+    # ------------------------------------------------------------------
+    # hot-path feeds
+    # ------------------------------------------------------------------
+    def record_latency(self, seconds: float) -> None:
+        """One served request's submit-to-answer latency."""
+        self._latencies.append(seconds)
+        self.served += 1
+
+    def record_batch(self, size: int) -> None:
+        """One dispatched batch of ``size`` requests."""
+        self.batch_sizes[int(size)] += 1
+
+    def record_cache_hit(self) -> None:
+        self.served += 1
+        self.cache_hits += 1
+
+    def record_write(self, dropped_points: int = 0, dropped_ranges: int = 0) -> None:
+        self.writes += 1
+        self.invalidated_points += dropped_points
+        self.invalidated_ranges += dropped_ranges
+
+    def request_started(self) -> None:
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def request_finished(self) -> None:
+        self.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # readouts
+    # ------------------------------------------------------------------
+    def latency_us(self, percentile: float) -> float:
+        """Latency percentile in microseconds (NaN before any sample)."""
+        if not self._latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._latencies), percentile) * 1e6)
+
+    @property
+    def num_batches(self) -> int:
+        return sum(self.batch_sizes.values())
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = self.num_batches
+        if total == 0:
+            return float("nan")
+        return sum(s * c for s, c in self.batch_sizes.items()) / total
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over all served requests (0.0 before any request)."""
+        return self.cache_hits / self.served if self.served else 0.0
+
+    def batch_histogram(self, bins=(1, 2, 4, 8, 16, 32, 64, 128, 256)) -> dict:
+        """Batch-size counts rolled up into ``<=bin`` buckets."""
+        out = {f"<={b}": 0 for b in bins}
+        out[f">{bins[-1]}"] = 0
+        for size, count in self.batch_sizes.items():
+            for b in bins:
+                if size <= b:
+                    out[f"<={b}"] += count
+                    break
+            else:
+                out[f">{bins[-1]}"] += count
+        return out
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "served": self.served,
+            "p50_us": self.latency_us(50),
+            "p99_us": self.latency_us(99),
+            "batches": self.num_batches,
+            "mean_batch": self.mean_batch_size,
+            "cache_hit_rate": self.cache_hit_rate,
+            "writes": self.writes,
+            "invalidated_points": self.invalidated_points,
+            "invalidated_ranges": self.invalidated_ranges,
+            "peak_inflight": self.peak_inflight,
+            "backpressure_waits": self.backpressure_waits,
+        }
+
+    def describe(self) -> str:  # pragma: no cover - formatting aid
+        snap = self.snapshot()
+        lines = [f"{k:>20}: {v}" for k, v in snap.items()]
+        hist = self.batch_histogram()
+        lines.append(f"{'batch histogram':>20}: "
+                     + ", ".join(f"{k}:{v}" for k, v in hist.items() if v))
+        return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Concurrent-writer safety for ShardedIndex (ISSUE 3 satellite).
+
+The ROADMAP flagged updates as single-threaded; the engine now carries
+an explicit write lock serialising ``insert``/``delete``/``refresh``.
+These tests hammer the index from concurrent threads and from
+concurrent asyncio writers through the serving layer, then assert the
+final key sequence and every lookup against ``np.searchsorted`` — no
+silent corruption allowed.  The write-event listener contract
+(span/key payloads, registration) is covered here too, since the
+events fire under the same lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchExecutor, ShardedIndex, WriteEvent
+from repro.serve import IndexServer
+
+
+def build_index(rng, n=2000, backend="gapped", shards=4):
+    keys = np.sort(rng.integers(0, 1 << 32, n, dtype=np.uint64))
+    return keys, ShardedIndex.build(keys, shards, backend=backend)
+
+
+def assert_matches_oracle(index: ShardedIndex, expected: np.ndarray) -> None:
+    assert len(index) == len(expected)
+    assert np.array_equal(index.keys, expected)
+    qrng = np.random.default_rng(0)
+    qs = np.concatenate([
+        qrng.choice(expected, 200),
+        qrng.integers(0, 1 << 33, 100, dtype=np.uint64),
+    ])
+    got = BatchExecutor(index).lookup_batch(qs)
+    assert np.array_equal(got, np.searchsorted(expected, qs, side="left"))
+
+
+@pytest.mark.parametrize("backend", ["static", "gapped", "fenwick"])
+def test_concurrent_threaded_inserts_serialize(rng, backend):
+    keys, index = build_index(rng, backend=backend)
+    per_thread = 60
+    value_sets = [
+        rng.integers(0, 1 << 32, per_thread, dtype=np.uint64)
+        for _ in range(6)
+    ]
+    errors: list[Exception] = []
+
+    def writer(values):
+        try:
+            for v in values:
+                index.insert(v)
+        except Exception as exc:  # pragma: no cover - the failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(vs,)) for vs in value_sets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    expected = np.sort(np.concatenate([keys] + value_sets))
+    assert_matches_oracle(index, expected)
+
+
+def test_concurrent_mixed_writers_serialize(rng):
+    keys, index = build_index(rng, backend="fenwick")
+    inserts = rng.integers(0, 1 << 32, 120, dtype=np.uint64)
+    # delete distinct pre-existing keys, disjoint across threads
+    unique = np.unique(keys)
+    victims = unique[rng.choice(len(unique), 120, replace=False)]
+    errors: list[Exception] = []
+
+    def run(fn, values):
+        try:
+            for v in values:
+                fn(v)
+        except Exception as exc:  # pragma: no cover - the failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(index.insert, inserts[:60])),
+        threading.Thread(target=run, args=(index.insert, inserts[60:])),
+        threading.Thread(target=run, args=(index.delete, victims[:60])),
+        threading.Thread(target=run, args=(index.delete, victims[60:])),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    expected = keys.copy()
+    for v in victims:
+        expected = np.delete(expected, np.searchsorted(expected, v))
+    expected = np.sort(np.concatenate([expected, inserts]))
+    assert_matches_oracle(index, expected)
+
+
+def test_write_lock_blocks_second_writer(rng):
+    """The mutation path really does wait on the write lock."""
+    keys, index = build_index(rng)
+    index._write_lock.acquire()
+    try:
+        t = threading.Thread(target=index.insert, args=(np.uint64(123),))
+        t.start()
+        time.sleep(0.05)
+        assert t.is_alive()  # parked on the lock, not corrupting state
+    finally:
+        index._write_lock.release()
+    t.join(timeout=5)
+    assert not t.is_alive()
+    assert len(index) == len(keys) + 1
+
+
+def test_concurrent_async_writers_through_server(rng):
+    keys, index = build_index(rng, backend="gapped")
+    values = rng.integers(0, 1 << 32, 200, dtype=np.uint64)
+
+    async def scenario():
+        async with IndexServer(index) as server:
+            await asyncio.gather(*[server.insert(v) for v in values])
+            # reads interleaved with nothing pending still agree
+            q = keys[500]
+            expected = np.sort(np.concatenate([keys, values]))
+            assert await server.lookup(q) == int(
+                np.searchsorted(expected, q, side="left")
+            )
+            return expected
+
+    expected = asyncio.run(scenario())
+    assert_matches_oracle(index, expected)
+
+
+# ----------------------------------------------------------------------
+# write-event contract
+# ----------------------------------------------------------------------
+def test_write_events_carry_key_and_span(rng):
+    keys, index = build_index(rng, backend="static")
+    events: list[WriteEvent] = []
+    index.add_write_listener(events.append)
+
+    v = np.uint64(keys[1000]) + np.uint64(1)
+    s = index.insert(v)
+    index.delete(v)
+    index.refresh()
+    assert [e.kind for e in events] == ["insert", "delete", "refresh"]
+    for event in events[:2]:
+        assert event.shard == s
+        assert event.key == v
+        lo, hi = event.span
+        assert lo <= v and (hi is None or v <= hi)
+        assert event.overlaps(v, v + np.uint64(1))
+        assert not event.overlaps(np.uint64(0), lo)  # below the span
+    assert events[2].span is None
+    assert not events[2].overlaps(0, 1 << 40)
+
+    index.remove_write_listener(events.append)
+    index.insert(v)
+    assert len(events) == 3  # detached listeners see nothing
+
+
+def test_shard_span_partitions_the_key_domain(rng):
+    keys, index = build_index(rng, shards=4)
+    spans = [index.shard_span(s) for s in range(index.num_shards)]
+    live = [sp for sp in spans if sp is not None]
+    assert live[0][0] == keys[0]
+    assert live[-1][1] is None
+    for (lo, hi), (nxt_lo, _) in zip(live, live[1:]):
+        assert hi == nxt_lo  # inclusive-upper meets the next shard's min
+        assert lo < nxt_lo
+    # a drained shard reports no span
+    tiny = ShardedIndex.build(np.asarray([1, 2], dtype=np.uint64), 2)
+    tiny.delete(np.uint64(1))
+    assert tiny.shard_span(0) is None

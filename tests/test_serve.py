@@ -1,0 +1,337 @@
+"""Oracle suite for the async serving layer (ISSUE 3 tentpole).
+
+Drives concurrent async clients — mixed point/range, duplicate keys,
+out-of-domain probes — against an :class:`IndexServer` and asserts
+bit-exact agreement with ``np.searchsorted`` oracles, including under
+interleaved server-applied writes that must invalidate the result
+cache.  Every test runs its event loop with plain ``asyncio.run`` so no
+pytest async plugin is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import ShardedIndex
+from repro.serve import IndexServer
+
+
+def make_keys(rng: np.random.Generator, n: int = 8000) -> np.ndarray:
+    """Sorted uint64 keys with a forced duplicate run."""
+    keys = rng.integers(0, 1 << 40, n, dtype=np.uint64)
+    keys[200:240] = keys[200]
+    keys.sort()
+    return keys
+
+
+def mixed_queries(rng: np.random.Generator, live: np.ndarray, count: int):
+    """Stored keys, duplicate-run members, neighbours, and extremes."""
+    picks = rng.choice(live, count)
+    return np.concatenate([
+        picks,
+        picks + 1,
+        np.asarray([live[0], live[-1], np.uint64(0)], dtype=live.dtype),
+        rng.integers(0, np.iinfo(np.uint64).max, count, dtype=np.uint64),
+    ])
+
+
+async def _point_client(server, queries, expected):
+    bad = 0
+    for q, e in zip(queries, expected):
+        if await server.lookup(q) != e:
+            bad += 1
+    return bad
+
+
+async def _range_client(server, lows, highs, expected):
+    bad = 0
+    for lo, hi, e in zip(lows, highs, expected):
+        if await server.range(lo, hi) != e:
+            bad += 1
+    return bad
+
+
+@pytest.fixture()
+def keys(rng):
+    return make_keys(np.random.default_rng(rng.integers(1 << 31)))
+
+
+@pytest.mark.parametrize("backend", ["static", "gapped", "fenwick"])
+def test_concurrent_clients_agree_with_oracle_under_writes(keys, backend):
+    """N async clients, interleaved writes, zero tolerated mismatches."""
+    index = ShardedIndex.build(keys, 4, backend=backend)
+    server = IndexServer(index, max_batch=64, max_wait_us=100)
+    wrng = np.random.default_rng(7)
+
+    async def scenario() -> int:
+        mismatches = 0
+        live = keys.copy()
+        async with server:
+            for round_no in range(6):
+                if round_no:  # writes between read rounds hit the cache
+                    for _ in range(4):
+                        fresh = live[int(wrng.integers(0, len(live)))] + 1
+                        await server.insert(fresh)
+                        live = np.insert(
+                            live, np.searchsorted(live, fresh), fresh
+                        )
+                    for _ in range(2):
+                        victim = live[int(wrng.integers(0, len(live)))]
+                        await server.delete(victim)
+                        live = np.delete(live, np.searchsorted(live, victim))
+                clients = []
+                for c in range(8):
+                    qrng = np.random.default_rng(100 * round_no + c)
+                    qs = mixed_queries(qrng, live, 24)
+                    clients.append(_point_client(
+                        server, qs, np.searchsorted(live, qs, side="left")
+                    ))
+                    lows = qrng.choice(live, 12)
+                    highs = lows + qrng.integers(0, 1 << 32, 12).astype(live.dtype)
+                    counts = (
+                        np.searchsorted(live, highs, side="left")
+                        - np.searchsorted(live, lows, side="left")
+                    )
+                    clients.append(_range_client(
+                        server, lows, highs, np.maximum(counts, 0)
+                    ))
+                mismatches += sum(await asyncio.gather(*clients))
+        return mismatches
+
+    assert asyncio.run(scenario()) == 0
+    # the rounds repeat hot keys, so the cache must have engaged...
+    assert server.cache.point_hits + server.cache.range_hits > 0
+    # ...and the interleaved writes must have invalidated something
+    assert server.stats.writes == 30
+    assert server.cache.invalidated_ranges + server.cache.invalidated_points > 0
+
+
+def test_point_lookup_edge_semantics(keys):
+    """Duplicates answer at the run start; out-of-domain clamp to 0/n."""
+    index = ShardedIndex.build(keys, 3)
+    n = len(keys)
+    dup = keys[210]  # inside the forced duplicate run
+
+    async def scenario():
+        async with IndexServer(index, max_batch=8) as server:
+            assert await server.lookup(dup) == int(
+                np.searchsorted(keys, dup, side="left")
+            )
+            assert await server.lookup(np.uint64(0)) == int(
+                np.searchsorted(keys, np.uint64(0), side="left")
+            )
+            assert await server.lookup(-3) == 0
+            assert await server.lookup(int(keys[-1]) + 1) == n
+            assert await server.lookup((1 << 64) + 5) == n
+
+    asyncio.run(scenario())
+
+
+def test_range_count_semantics(keys):
+    """Counts match the oracle; inverted and empty ranges come back 0."""
+    index = ShardedIndex.build(keys, 3)
+
+    async def scenario():
+        async with IndexServer(index) as server:
+            lo, hi = keys[10], keys[900]
+            oracle = int(np.searchsorted(keys, hi) - np.searchsorted(keys, lo))
+            assert await server.range(lo, hi) == oracle
+            assert await server.range(hi, lo) == 0  # inverted
+            assert await server.range(lo, lo) == 0  # empty
+            first, last = await server.range_positions(lo, hi)
+            assert (first, last) == (
+                int(np.searchsorted(keys, lo)), int(np.searchsorted(keys, hi))
+            )
+            assert await server.range(-5, (1 << 64) + 5) == len(keys)
+
+    asyncio.run(scenario())
+
+
+def test_write_invalidates_only_stale_point_entries(keys):
+    """Entries above the written key go stale; entries below survive."""
+    index = ShardedIndex.build(keys, 2, backend="gapped")
+    low_q, high_q = keys[100], keys[7000]
+
+    async def scenario():
+        async with IndexServer(index) as server:
+            before_low = await server.lookup(low_q)
+            before_high = await server.lookup(high_q)
+            hits0 = server.cache.point_hits
+            # a write between the two cached queries
+            mid = keys[4000] + 1
+            await server.insert(mid)
+            live = np.insert(keys, np.searchsorted(keys, mid), mid)
+            # below the write: still served (from cache), still exact
+            assert await server.lookup(low_q) == before_low
+            assert server.cache.point_hits == hits0 + 1
+            # above the write: stale entry must NOT be served
+            after_high = await server.lookup(high_q)
+            assert after_high == before_high + 1
+            assert after_high == int(np.searchsorted(live, high_q, side="left"))
+
+    asyncio.run(scenario())
+
+
+def test_write_barrier_orders_reads_before_writes(keys):
+    """Reads admitted before a write are answered pre-write."""
+    index = ShardedIndex.build(keys, 2)
+    q = keys[6000]
+    pre = int(np.searchsorted(keys, q, side="left"))
+
+    async def scenario():
+        async with IndexServer(index, max_batch=512, max_wait_us=5000) as server:
+            task = asyncio.get_running_loop().create_task(server.lookup(q))
+            await asyncio.sleep(0)  # let the read park in the batch queue
+            await server.insert(q - 1)  # drains the queue first
+            assert await task == pre
+            # a read submitted after the write sees the new rank
+            assert await server.lookup(q) == pre + 1
+
+    asyncio.run(scenario())
+
+
+def test_backpressure_engages_and_stays_exact(keys):
+    index = ShardedIndex.build(keys, 2)
+    qrng = np.random.default_rng(3)
+    qs = qrng.choice(keys, 256)
+    truth = np.searchsorted(keys, qs, side="left")
+
+    async def scenario():
+        async with IndexServer(
+            index, max_batch=16, max_inflight=4, point_cache=0
+        ) as server:
+            got = await asyncio.gather(*[server.lookup(q) for q in qs])
+            assert np.array_equal(np.asarray(got), truth)
+        return server
+
+    server = asyncio.run(scenario())
+    assert server.stats.backpressure_waits > 0
+    assert server.stats.peak_inflight <= 256
+
+
+def test_stats_surface(keys):
+    index = ShardedIndex.build(keys, 2)
+    server = IndexServer(index, max_batch=32)
+    qrng = np.random.default_rng(5)
+    qs = qrng.choice(keys, 128)
+
+    async def scenario():
+        async with server:
+            await asyncio.gather(*[server.lookup(q) for q in qs])
+            await asyncio.gather(*[server.lookup(q) for q in qs[:64]])
+
+    asyncio.run(scenario())
+    snap = server.stats.snapshot()
+    assert snap["served"] == 192
+    assert snap["p50_us"] <= snap["p99_us"]
+    assert 1 <= snap["mean_batch"] <= 32
+    assert 0 < snap["cache_hit_rate"] < 1
+    hist = server.stats.batch_histogram()
+    assert sum(hist.values()) == server.stats.num_batches
+    assert "p50_us" in server.describe() or "p50_us" in str(snap)
+
+
+def test_refresh_keeps_cache_valid(keys):
+    """refresh() folds buffers without touching logical content or cache."""
+    index = ShardedIndex.build(keys, 2, backend="fenwick")
+
+    async def scenario():
+        async with IndexServer(index) as server:
+            q = keys[5000]
+            await server.insert(keys[100] + 1)
+            live = np.insert(keys, np.searchsorted(keys, keys[100] + 1),
+                             keys[100] + 1)
+            first = await server.lookup(q)
+            hits0 = server.cache.point_hits
+            await server.refresh()
+            assert index.pending_updates() == 0
+            # served from cache, still exact after the physical rebuild
+            assert await server.lookup(q) == first
+            assert server.cache.point_hits == hits0 + 1
+            assert first == int(np.searchsorted(live, q, side="left"))
+
+    asyncio.run(scenario())
+
+
+def test_server_adopts_plain_corrected_index(small_sorted_keys):
+    """A bare CorrectedIndex serves as a one-shard index."""
+    from repro.core.corrected_index import CorrectedIndex
+    from repro.core.records import SortedData
+    from repro.core.shift_table import ShiftTable
+    from repro.models.interpolation import InterpolationModel
+
+    keys = small_sorted_keys
+    model = InterpolationModel(keys)
+    index = CorrectedIndex(SortedData(keys, name="bare"), model,
+                           ShiftTable.build(keys, model))
+
+    async def scenario():
+        async with IndexServer(index) as server:
+            qs = keys[::97]
+            got = await asyncio.gather(*[server.lookup(q) for q in qs])
+            assert np.array_equal(
+                np.asarray(got), np.searchsorted(keys, qs, side="left")
+            )
+
+    asyncio.run(scenario())
+
+
+def test_malformed_queries_fail_alone(keys):
+    """A nan or non-numeric query fails its own request, not the batch."""
+    index = ShardedIndex.build(keys, 2)
+
+    async def scenario():
+        async with IndexServer(index, max_batch=64) as server:
+            good = keys[::1000]
+            tasks = [server.lookup(q) for q in good]
+            tasks.append(server.lookup(float("nan")))
+            tasks.append(server.lookup("not-a-key"))
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            ok, bad = results[: len(good)], results[len(good):]
+            assert np.array_equal(
+                np.asarray(ok), np.searchsorted(keys, good, side="left")
+            )
+            assert isinstance(bad[0], ValueError)
+            assert isinstance(bad[1], TypeError)
+
+    asyncio.run(scenario())
+
+
+def test_fractional_numpy_float_queries(keys):
+    """np.float32/float64 fractional queries answer the exact lower bound."""
+    index = ShardedIndex.build(keys, 2)
+    frac = np.float64(keys[4000]) + 0.5
+
+    async def scenario():
+        async with IndexServer(index) as server:
+            expect = int(np.searchsorted(keys, np.uint64(keys[4000]) + 1))
+            assert await server.lookup(np.float32(2.5)) == int(
+                np.searchsorted(keys, np.uint64(3), side="left")
+            )
+            assert await server.lookup(frac) == expect
+            assert await server.lookup(float(frac)) == expect
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_backpressure_waiter_does_not_strand_queue(keys):
+    index = ShardedIndex.build(keys, 2)
+
+    async def scenario():
+        async with IndexServer(index, max_inflight=1) as server:
+            server._slots = 0  # simulate a saturated server
+            loop = asyncio.get_running_loop()
+            t1 = loop.create_task(server._take_slot())
+            t2 = loop.create_task(server._take_slot())
+            await asyncio.sleep(0)
+            t1.cancel()
+            await asyncio.gather(t1, return_exceptions=True)
+            server._release_slot()
+            await asyncio.wait_for(t2, timeout=2.0)  # must not hang
+            assert server._slots == 0  # t2 claimed the released slot
+            server._release_slot()
+
+    asyncio.run(scenario())

@@ -1,0 +1,198 @@
+"""Property tests for micro-batch flush semantics (ISSUE 3 satellite).
+
+:class:`BatchQueue` takes an explicit clock, so hypothesis can drive
+arbitrary submit/advance schedules through fake time and check the
+three contract properties directly:
+
+* every submitted request comes back in exactly one flushed batch,
+  exactly once, in FIFO order;
+* no batch ever exceeds ``max_batch``;
+* a pending batch never outlives ``max_wait_us`` past its *oldest*
+  request (in particular a lone request is flushed within the window).
+
+The asyncio :class:`MicroBatcher` wrapper is then exercised on a real
+event loop: size triggers, window flush for a lone request, mixed
+lookup/range batches, drain barriers, and executor-failure fan-out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BatchExecutor, ShardedIndex
+from repro.serve import BatchQueue, MicroBatcher, Request
+
+# one fake-clock step per event: "s" submits, a float advances time (us)
+events = st.lists(
+    st.one_of(st.just("s"), st.floats(min_value=0.1, max_value=500.0)),
+    min_size=1, max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=events,
+    max_batch=st.integers(min_value=1, max_value=7),
+    max_wait_us=st.floats(min_value=1.0, max_value=300.0),
+)
+def test_batch_queue_flush_contract(events, max_batch, max_wait_us):
+    queue = BatchQueue(max_batch=max_batch, max_wait_us=max_wait_us)
+    now = 0.0
+    submitted: list[int] = []
+    pending_times: list[float] = []  # our model of what sits in the queue
+    batches: list[list[int]] = []
+    next_id = 0
+
+    def absorb(batch):
+        if batch is not None:
+            assert 1 <= len(batch) <= max_batch
+            batches.append(batch)
+            del pending_times[: len(batch)]
+
+    for event in events:
+        if event == "s":
+            submitted.append(next_id)
+            pending_times.append(now)
+            absorb(queue.submit(next_id, now))
+            next_id += 1
+        else:
+            now += event * 1e-6
+            absorb(queue.poll(now))
+        # the oldest pending request can never be older than the window
+        if pending_times:
+            assert now <= pending_times[0] + max_wait_us * 1e-6 + 1e-12
+            assert queue.deadline is not None
+        else:
+            assert len(queue) == 0
+    absorb(queue.drain())
+    assert queue.drain() is None
+    # exactly-once, FIFO: flushed batches concatenate back to the input
+    assert [r for batch in batches for r in batch] == submitted
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pause_us=st.floats(min_value=0.0, max_value=1000.0),
+    max_wait_us=st.floats(min_value=1.0, max_value=300.0),
+)
+def test_lone_request_flushed_within_window(pause_us, max_wait_us):
+    """A lone request is returned by the first poll at/after its deadline."""
+    queue = BatchQueue(max_batch=1000, max_wait_us=max_wait_us)
+    assert queue.submit("lone", 0.0) is None
+    got = queue.poll(pause_us * 1e-6)
+    if pause_us >= max_wait_us:
+        assert got == ["lone"]
+    else:
+        assert got is None
+        assert queue.poll(max_wait_us * 1e-6) == ["lone"]
+
+
+def test_deadline_set_by_oldest_request():
+    queue = BatchQueue(max_batch=100, max_wait_us=100.0)
+    queue.submit(0, now=0.0)
+    first_deadline = queue.deadline
+    queue.submit(1, now=50e-6)  # later arrivals must not extend the window
+    assert queue.deadline == first_deadline
+    assert queue.poll(first_deadline) == [0, 1]
+
+
+def test_request_validates_kind():
+    with pytest.raises(ValueError, match="kind"):
+        Request("scan", 1)
+
+
+# ----------------------------------------------------------------------
+# asyncio integration
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def executor(rng):
+    keys = np.sort(rng.integers(0, 1 << 32, 4000, dtype=np.uint64))
+    return BatchExecutor(ShardedIndex.build(keys, 2))
+
+
+def test_size_trigger_dispatches_full_batch(executor):
+    keys = executor.index.keys
+    batcher = MicroBatcher(executor, max_batch=4, max_wait_us=10_000.0)
+
+    async def scenario():
+        qs = keys[[5, 105, 205, 305]]
+        got = await asyncio.gather(*[batcher.lookup(q) for q in qs])
+        assert got == [int(p) for p in np.searchsorted(keys, qs, side="left")]
+        assert len(batcher.queue) == 0
+
+    asyncio.run(scenario())
+
+
+def test_lone_async_request_resolves(executor):
+    """No other traffic: the window (idle probe or timer) must flush."""
+    keys = executor.index.keys
+    batcher = MicroBatcher(executor, max_batch=1000, max_wait_us=200.0)
+
+    async def scenario():
+        return await asyncio.wait_for(batcher.lookup(keys[7]), timeout=2.0)
+
+    assert asyncio.run(scenario()) == int(
+        np.searchsorted(keys, keys[7], side="left")
+    )
+
+
+def test_mixed_kinds_share_one_flush(executor):
+    keys = executor.index.keys
+    batcher = MicroBatcher(executor, max_batch=1000, max_wait_us=100.0)
+
+    async def scenario():
+        point = batcher.lookup(keys[50])
+        span = batcher.range(keys[10], keys[60])
+        got_point, got_span = await asyncio.gather(point, span)
+        assert got_point == int(np.searchsorted(keys, keys[50], side="left"))
+        assert got_span == (
+            int(np.searchsorted(keys, keys[10], side="left")),
+            int(np.searchsorted(keys, keys[60], side="left")),
+        )
+
+    asyncio.run(scenario())
+
+
+def test_drain_is_an_immediate_barrier(executor):
+    keys = executor.index.keys
+    batcher = MicroBatcher(executor, max_batch=1000, max_wait_us=10_000_000.0)
+
+    async def scenario():
+        future = batcher.lookup(keys[3])
+        task = asyncio.get_running_loop().create_task(future)
+        await asyncio.sleep(0)
+        assert len(batcher.queue) == 1
+        await batcher.drain()
+        assert len(batcher.queue) == 0
+        assert await task == int(np.searchsorted(keys, keys[3], side="left"))
+
+    asyncio.run(scenario())
+
+
+def test_executor_failure_fans_out_to_all_futures():
+    class FakeIndex(list):
+        key_dtype = np.dtype(np.int64)
+
+    class BoomExecutor:
+        index = FakeIndex()
+
+        def lookup_batch(self, queries):
+            raise RuntimeError("shard on fire")
+
+        def range_batch(self, lows, highs):
+            raise RuntimeError("shard on fire")
+
+    batcher = MicroBatcher(BoomExecutor(), max_batch=2, max_wait_us=50.0)
+
+    async def scenario():
+        a = asyncio.get_running_loop().create_task(batcher.lookup(1))
+        b = asyncio.get_running_loop().create_task(batcher.range(1, 2))
+        results = await asyncio.gather(a, b, return_exceptions=True)
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    asyncio.run(scenario())

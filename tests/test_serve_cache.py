@@ -1,0 +1,191 @@
+"""ResultCache coherence tests (ISSUE 3 satellite: shard-aware ranges).
+
+The contract under test: a cached answer served after any sequence of
+writes is *bit-exact* — point entries above a written key are poisoned
+by the lazy cutoff frontier, cached ranges die exactly when a write's
+shard span overlaps them, and everything else keeps serving.  The
+hypothesis drive below replays random interleavings of inserts, deletes
+and queries against a live :class:`ShardedIndex` (writes wired to the
+cache through the engine's write-listener hook) and asserts every hit
+against a ``np.searchsorted`` oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import sorted_uint_arrays
+from repro.engine import ShardedIndex, WriteEvent
+from repro.serve import ResultCache
+
+# ops over a tiny key universe so queries, duplicates and writes collide
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("ins"), st.integers(0, 100)),
+        st.tuples(st.just("del"), st.integers(0, 1_000_000)),
+        st.tuples(st.just("point"), st.integers(0, 110)),
+        st.tuples(st.just("range"), st.integers(0, 110), st.integers(0, 40)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=8, max_size=120, max_value=100),
+    ops=ops_strategy,
+    backend=st.sampled_from(["static", "gapped", "fenwick"]),
+)
+def test_cached_answers_never_go_stale(keys, ops, backend):
+    index = ShardedIndex.build(keys, 3, backend=backend)
+    cache = ResultCache(point_capacity=64, range_capacity=64)
+    index.add_write_listener(cache.on_write)
+    live = keys.copy()
+    for op in ops:
+        if op[0] == "ins":
+            v = np.uint64(op[1])
+            index.insert(v)
+            live = np.insert(live, np.searchsorted(live, v, side="left"), v)
+        elif op[0] == "del":
+            if len(live) == 0:
+                continue
+            v = live[op[1] % len(live)]
+            index.delete(v)
+            live = np.delete(live, np.searchsorted(live, v, side="left"))
+        elif op[0] == "point":
+            q = np.uint64(op[1])
+            oracle = int(np.searchsorted(live, q, side="left"))
+            got = cache.get_point(q)
+            if got is not None:
+                assert got == oracle  # a stale hit is the bug
+            else:
+                cache.put_point(q, oracle)
+        else:
+            lo = np.uint64(op[1])
+            hi = np.uint64(op[1] + op[2])
+            oracle = int(
+                np.searchsorted(live, hi, side="left")
+                - np.searchsorted(live, lo, side="left")
+            )
+            got = cache.get_range(lo, hi)
+            if got is not None:
+                assert got == oracle  # a stale hit is the bug
+            else:
+                cache.put_range(lo, hi, oracle)
+
+
+def test_range_invalidation_is_shard_aware():
+    """A write to shard k drops only ranges overlapping shard k's span."""
+    keys = np.arange(0, 4000, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 4, backend="static")
+    cache = ResultCache()
+    index.add_write_listener(cache.on_write)
+
+    cache.put_range(10, 50, 40)        # lives in shard 0's span
+    cache.put_range(1200, 1300, 100)   # lives in shard 1's span
+    # write far away, in the last shard
+    index.insert(np.uint64(3500))
+    assert cache.get_range(10, 50) == 40          # survived, still exact
+    assert cache.get_range(1200, 1300) == 100     # survived, still exact
+    assert cache.invalidated_ranges == 0
+    # write inside shard 0's span: only the overlapping range dies
+    index.insert(np.uint64(20))
+    assert cache.get_range(10, 50) is None
+    assert cache.get_range(1200, 1300) == 100
+    assert cache.invalidated_ranges == 1
+
+
+def test_point_cutoff_poisons_only_entries_above_the_write():
+    keys = np.arange(0, 1000, dtype=np.uint64)
+    index = ShardedIndex.build(keys, 2)
+    cache = ResultCache()
+    index.add_write_listener(cache.on_write)
+
+    cache.put_point(100, 100)
+    cache.put_point(900, 900)
+    index.insert(np.uint64(500))
+    assert cache.get_point(100) == 100      # below the write: untouched
+    assert cache.get_point(900) is None     # above: lazily dropped
+    assert cache.invalidated_points == 1
+    # a fresh post-write fill at the same key serves again
+    cache.put_point(900, 901)
+    assert cache.get_point(900) == 901
+
+
+def test_cutoff_frontier_stays_monotone_and_compact():
+    cache = ResultCache()
+    for key in (80, 60, 90, 10):
+        cache.on_write(WriteEvent("insert", 0, key, (key, None)))
+    # 80/60/90 are all dominated by the final write at 10
+    assert cache._cut_keys == [10]
+    cache.on_write(WriteEvent("insert", 0, 70, (70, None)))
+    assert cache._cut_keys == [10, 70]
+    assert cache._cut_stamps == sorted(cache._cut_stamps)
+
+
+def test_refresh_events_do_not_invalidate():
+    cache = ResultCache()
+    cache.put_point(5, 5)
+    cache.put_range(1, 9, 8)
+    assert cache.on_write(WriteEvent("refresh", -1)) == (0, 0)
+    assert cache.get_point(5) == 5
+    assert cache.get_range(1, 9) == 8
+
+
+def test_lru_eviction_respects_capacity():
+    cache = ResultCache(point_capacity=4, range_capacity=2)
+    for i in range(10):
+        cache.put_point(i, i)
+        cache.put_range(i, i + 1, 1)
+    assert len(cache._points) == 4
+    assert len(cache._ranges) == 2
+    # most-recent entries survive
+    assert cache.get_point(9) == 9
+    assert cache.get_point(0) is None
+    # a get refreshes recency
+    cache.get_point(6)
+    cache.put_point(11, 11)
+    assert cache.get_point(6) == 6
+
+
+def test_zero_capacity_disables_each_side():
+    cache = ResultCache(point_capacity=0, range_capacity=0)
+    cache.put_point(1, 1)
+    cache.put_range(1, 2, 1)
+    assert cache.get_point(1) is None
+    assert cache.get_range(1, 2) is None
+    assert len(cache) == 0
+    with pytest.raises(ValueError):
+        ResultCache(point_capacity=-1)
+
+
+def test_clear_and_info():
+    cache = ResultCache()
+    cache.put_point(1, 1)
+    cache.put_range(1, 2, 1)
+    cache.get_point(1)
+    cache.on_write(WriteEvent("insert", 0, 0, (0, None)))
+    info = cache.info()
+    assert info["points"] == 1 and info["ranges"] == 0
+    assert 0 < info["hit_rate"] <= 1
+    cache.clear()
+    assert len(cache) == 0
+    assert cache._cut_keys == []
+
+
+def test_cutoff_frontier_stays_bounded_under_append_only_writes():
+    """Monotone ascending writes must not grow the frontier forever."""
+    cache = ResultCache()
+    cache.MAX_CUTOFFS = 8
+    cache.put_point(2, 2)     # below every write: must keep serving
+    cache.put_point(10_000, 50)  # above them all: must go stale
+    for key in range(100, 200):
+        cache.on_write(WriteEvent("insert", 0, key, (key, None)))
+        assert len(cache._cut_keys) <= cache.MAX_CUTOFFS + 1
+        assert cache._cut_keys == sorted(cache._cut_keys)
+        assert cache._cut_stamps == sorted(cache._cut_stamps)
+    assert cache.get_point(2) == 2
+    assert cache.get_point(10_000) is None  # merged frontier still poisons
