@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Per-shard auto-tuning vs fixed global configs, oracle-verified.
+
+Standalone script (not a pytest-benchmark target) so CI can smoke it:
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py --smoke
+
+Builds a skewed multi-distribution key space (dense-uniform + lognormal
++ clustered segments in disjoint ranges), sweeps every fixed global
+model/layer config against ``ShardedIndex.build(auto_tune=True)`` +
+``retune()``, verifies every config against a ``searchsorted`` oracle,
+and reports the per-shard tuner decisions; see
+:mod:`repro.bench.autotune`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench.autotune import (
+        SMOKE_LIMITS,
+        render_report,
+        run_autotune_bench,
+    )
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.bench.autotune import (
+        SMOKE_LIMITS,
+        render_report,
+        run_autotune_bench,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=200_000,
+                        help="keys in the multi-distribution dataset")
+    parser.add_argument("--queries", type=int, default=100_000,
+                        help="lookup queries per timed config")
+    parser.add_argument("--shards", type=int, default=9,
+                        help="number of range shards (default 9)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per config (best-of)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="thread-pool size for cross-shard reads")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="required auto/best-fixed throughput ratio")
+    parser.add_argument("--no-enforce", action="store_true",
+                        help="report the ratio without enforcing it")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration (fast, still verified)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n = min(args.n, SMOKE_LIMITS["n"])
+        args.queries = min(args.queries, SMOKE_LIMITS["num_queries"])
+        args.repeats = min(args.repeats, SMOKE_LIMITS["repeats"])
+
+    out = run_autotune_bench(
+        n=args.n,
+        num_shards=args.shards,
+        num_queries=args.queries,
+        repeats=args.repeats,
+        seed=args.seed,
+        workers=args.workers,
+        min_ratio=None if args.no_enforce else args.min_ratio,
+    )
+    print(render_report(out))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ reproduction can be poked without writing Python:
 * ``engine-plan``  — EXPLAIN a query batch against a sharded index
 * ``engine-update-bench`` — mixed read/write workload across backends
 * ``serve-bench``  — async serving: micro-batching + caching vs unbatched
+* ``autotune-bench`` — per-shard §3.9 auto-tuning vs fixed global configs
 """
 
 from __future__ import annotations
@@ -27,10 +28,14 @@ from .bench.reporting import format_table
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, default=None,
-                        help="keys per dataset (default: REPRO_SOSD_N or 2M)")
+                        help="keys per dataset (default is per-command: "
+                             "REPRO_SOSD_N/2M for table2 and figs, 100k-1M "
+                             "for the engine/serve benchmarks)")
     parser.add_argument("--queries", type=int, default=None,
-                        help="queries per cell (default: REPRO_QUERIES or 1024)")
-    parser.add_argument("--seed", type=int, default=None)
+                        help="queries (or total ops) per cell; default is "
+                             "per-command")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="RNG seed for datasets and workloads")
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -288,6 +293,30 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autotune_bench(args: argparse.Namespace) -> int:
+    from .bench.autotune import SMOKE_LIMITS, render_report, run_autotune_bench
+
+    n = args.n or 200_000
+    num_queries = args.queries or 100_000
+    repeats = args.repeats
+    if args.smoke:
+        n = min(n, SMOKE_LIMITS["n"])
+        num_queries = min(num_queries, SMOKE_LIMITS["num_queries"])
+        repeats = min(repeats, SMOKE_LIMITS["repeats"])
+
+    out = run_autotune_bench(
+        n=n,
+        num_shards=args.shards,
+        num_queries=num_queries,
+        repeats=repeats,
+        seed=args.seed if args.seed is not None else 42,
+        workers=args.workers,
+        min_ratio=None if args.no_enforce else args.min_ratio,
+    )
+    print(render_report(out))
+    return 0
+
+
 def _cmd_engine_plan(args: argparse.Namespace) -> int:
     from .datasets import load
     from .engine import BatchExecutor, ShardedIndex
@@ -394,6 +423,30 @@ def build_parser() -> argparse.ArgumentParser:
     # serving batches are small (~clients per flush); on one core fewer
     # shards means fewer fixed-cost pipeline passes per dispatch
     p.set_defaults(fn=_cmd_serve_bench, shards=2)
+
+    p = sub.add_parser(
+        "autotune-bench",
+        help="per-shard §3.9 auto-tuning vs fixed global configs on a "
+             "skewed multi-distribution dataset, oracle-verified",
+    )
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per config (best-of)")
+    p.add_argument("--min-ratio", type=float, default=0.8,
+                   help="required auto/best-fixed throughput ratio "
+                        "(noise guard; the driver raises below it)")
+    p.add_argument("--no-enforce", action="store_true",
+                   help="report the throughput ratio without enforcing it")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny CI configuration (fast, still verified)")
+    # no --model/--layer here: the whole point is that the tuner picks
+    # them per shard; the fixed-config sweep is built in
+    p.add_argument("--shards", type=int, default=9,
+                   help="number of range shards (default 9: three per "
+                        "distribution segment)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="thread-pool size for cross-shard execution")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_autotune_bench)
 
     p = sub.add_parser(
         "engine-update-bench",

@@ -85,6 +85,20 @@ def tune(
         layer_enabled=enable,
         predicted_ns_without=ns_without,
         predicted_ns_with=ns_with,
+        considered=[
+            {
+                "layer": "R",
+                "error": error_after,
+                "predicted_ns": ns_with,
+                "chosen": enable,
+            },
+            {
+                "layer": None,
+                "error": error_before,
+                "predicted_ns": ns_without,
+                "chosen": not enable,
+            },
+        ],
     )
     index = CorrectedIndex(data, model, layer if enable else None)
     return index, report

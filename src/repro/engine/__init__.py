@@ -5,19 +5,29 @@ serving: :class:`ShardedIndex` range-partitions the keys and fits a
 shard-local model + Shift-Table correction per shard;
 :class:`BatchExecutor` routes, groups and executes whole query batches
 through the vectorised predict → correct → bounded-search pipeline;
-:class:`ExecutionPlan` is the inspectable EXPLAIN of a batch.
+:class:`ExecutionPlan` is the inspectable EXPLAIN of a batch;
+:class:`ShardTuner` (``auto_tune=``/``retune()``) runs the §3.9 cost
+model per shard, picking model family, layer mode and storage backend
+from each shard's local keys and observed read/write mix.
 
 >>> from repro.engine import ShardedIndex, BatchExecutor
 >>> index = ShardedIndex.build(keys, num_shards=8, model="interpolation")
 >>> positions = BatchExecutor(index).lookup_batch(queries)
 """
 
+from .autotune import (
+    AutoTuneConfig,
+    ShardDecision,
+    ShardTuner,
+    decision_from_config,
+)
 from .backends import (
     BACKEND_KINDS,
     BackendConfig,
     FenwickBackend,
     GappedBackend,
     ShardBackend,
+    ShardStats,
     StaticBackend,
     make_backend,
 )
@@ -26,6 +36,7 @@ from .plan import ExecutionPlan, ShardSlice
 from .sharded import LAYER_MODES, ShardedIndex, WriteEvent, snap_offsets
 
 __all__ = [
+    "AutoTuneConfig",
     "BACKEND_KINDS",
     "BackendConfig",
     "BatchExecutor",
@@ -35,9 +46,13 @@ __all__ = [
     "LAYER_MODES",
     "MODES",
     "ShardBackend",
+    "ShardDecision",
     "ShardSlice",
+    "ShardStats",
+    "ShardTuner",
     "ShardedIndex",
     "StaticBackend",
     "WriteEvent",
+    "decision_from_config",
     "snap_offsets",
 ]

@@ -41,6 +41,36 @@ from ..models.factory import MODEL_FACTORIES, ModelFactory, build_corrected_inde
 BACKEND_KINDS = ("static", "gapped", "fenwick")
 
 
+@dataclass
+class ShardStats:
+    """Observed per-shard workload counters (feeds the §3.9 auto-tuner).
+
+    ``reads`` counts queries the executor routed to the shard, ``writes``
+    counts routed inserts/deletes.  The counters survive shard rebuilds
+    triggered by a retune (the observation window carries over) and are
+    summed when shards merge; a split resets both children.
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Observed operations in the current window."""
+        return self.reads + self.writes
+
+    def write_fraction(self) -> float:
+        """Observed write mix in ``[0, 1]`` (0.0 before any operation)."""
+        if self.total == 0:
+            return 0.0
+        return self.writes / self.total
+
+    def merged_with(self, other: "ShardStats") -> "ShardStats":
+        """Combined counters for a shard built from two merged shards."""
+        return ShardStats(self.reads + other.reads,
+                          self.writes + other.writes)
+
+
 @dataclass(frozen=True)
 class BackendConfig:
     """How a shard (re)builds its model, layer and update machinery.
@@ -114,6 +144,26 @@ class ShardBackend:
     #: (one giant duplicate run); lets the sharded layer back off
     #: instead of re-materialising the shard's keys on every insert
     split_failed_at: int = 0
+    #: how this shard came to be: "build", "split", "merge" or "retune"
+    #: (surfaces in plan()/explain() lineage columns)
+    origin: str = "build"
+    #: compact tuner-decision label (e.g. "rmi+R/gapped"), set by the
+    #: auto-tuner; None for shards built from a hand-picked config
+    decision_label: str | None = None
+    _stats: ShardStats | None = None
+
+    @property
+    def stats(self) -> ShardStats:
+        """Per-shard workload counters.
+
+        Concrete backends initialise ``_stats`` eagerly in their
+        constructors so lock-free readers and lock-holding writers never
+        race to create it; the lazy fallback only serves exotic
+        subclasses that skip the stock constructors.
+        """
+        if self._stats is None:
+            self._stats = ShardStats()
+        return self._stats
 
     # -- introspection -------------------------------------------------
     @property
@@ -137,6 +187,7 @@ class ShardBackend:
         return self.index.name
 
     def size_bytes(self) -> int:
+        """Model + layer footprint in bytes (excludes the key data)."""
         return self.index.size_bytes()
 
     def strategy(self) -> str:
@@ -171,6 +222,7 @@ class ShardBackend:
         raise NotImplementedError
 
     def insert(self, key) -> None:
+        """Insert ``key`` into the shard (duplicates allowed)."""
         raise NotImplementedError
 
     def delete(self, key) -> None:
@@ -203,6 +255,7 @@ class StaticBackend(ShardBackend):
         name: str = "static",
     ) -> None:
         self.config = config
+        self._stats = ShardStats()
         if isinstance(source, CorrectedIndex):
             self._index = source
         else:
@@ -272,6 +325,7 @@ class GappedBackend(ShardBackend):
     def __init__(self, keys: np.ndarray, config: BackendConfig,
                  name: str = "gapped") -> None:
         self.config = config
+        self._stats = ShardStats()
         self._g = GappedLearnedIndex(
             keys, density=config.density, name=name, model=config.model
         )
@@ -328,6 +382,7 @@ class FenwickBackend(ShardBackend):
     def __init__(self, keys: np.ndarray, config: BackendConfig,
                  name: str = "fenwick") -> None:
         self.config = config
+        self._stats = ShardStats()
         self._u = self._build(keys, name)
 
     def _build(self, keys: np.ndarray, name: str) -> UpdatableCorrectedIndex:

@@ -107,6 +107,8 @@ class BatchExecutor:
                         expected_window=expected,
                         backend=shard.kind,
                         pending_updates=shard.pending,
+                        origin=shard.origin,
+                        decision=shard.decision_label,
                     )
                 )
         return ExecutionPlan(
@@ -115,6 +117,8 @@ class BatchExecutor:
             mode=self.mode,
             workers=self.workers,
             slices=slices,
+            num_splits=index.num_splits,
+            num_merges=index.num_merges,
         )
 
     def explain(self, queries: np.ndarray) -> str:
@@ -150,6 +154,7 @@ class BatchExecutor:
             # are dominated by exactly this fixed overhead)
             s = int(index._nonempty[0])
             shard = index.shards[s]
+            shard.stats.reads += int(queries.size)
             out[:] = shard.lookup_batch(queries) + int(index.offsets[s])
             return out
         shard_ids = index.route_batch(queries)
@@ -164,6 +169,9 @@ class BatchExecutor:
             s = int(sorted_ids[a])
             shard = index.shards[s]
             assert shard is not None, "router targeted an empty shard"
+            # each chunk touches a distinct shard, so the workload
+            # counter update is race-free even across pool workers
+            shard.stats.reads += int(b - a)
             # backends answer in shard-local *logical* ranks, so the
             # shard base offset still globalises them under updates
             out[take] = shard.lookup_batch(queries[take]) + int(

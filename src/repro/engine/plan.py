@@ -14,7 +14,13 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class ShardSlice:
-    """One shard's share of a planned batch."""
+    """One shard's share of a planned batch.
+
+    ``origin`` records the structural lineage of the shard ("build",
+    "split", "merge" or "retune"); ``decision`` is the compact §3.9
+    tuner-decision label (e.g. ``"rmi+R/gapped"``) for auto-tuned
+    shards, ``None`` for hand-configured ones.
+    """
 
     shard_id: int
     num_queries: int
@@ -24,8 +30,11 @@ class ShardSlice:
     expected_window: float | None = None
     backend: str = "static"
     pending_updates: int = 0
+    origin: str = "build"
+    decision: str | None = None
 
     def describe(self) -> str:
+        """One aligned text row (the engine-plan CLI output format)."""
         window = (
             f", E[window]={self.expected_window:.1f}"
             if self.expected_window is not None
@@ -35,33 +44,49 @@ class ShardSlice:
             f", pending={self.pending_updates:,}"
             if self.pending_updates else ""
         )
+        lineage = f", {self.origin}" if self.origin != "build" else ""
+        tuned = f" tuned={self.decision}" if self.decision else ""
         return (
             f"shard {self.shard_id:>4}: {self.num_queries:>8,} queries over "
             f"{self.num_keys:>10,} keys via {self.index_name} "
             f"[{self.strategy}{window}] "
-            f"<{self.backend}{staleness}>"
+            f"<{self.backend}{staleness}{lineage}>{tuned}"
         )
 
 
 @dataclass(frozen=True)
 class ExecutionPlan:
-    """Routing + strategy summary for one batch, before execution."""
+    """Routing + strategy summary for one batch, before execution.
+
+    ``num_splits``/``num_merges`` are the index's lifetime structural
+    maintenance counters — how many run-aligned shard splits and merges
+    have happened since build.
+    """
 
     num_queries: int
     num_shards: int
     mode: str
     workers: int
     slices: list[ShardSlice] = field(default_factory=list)
+    num_splits: int = 0
+    num_merges: int = 0
 
     @property
     def shards_touched(self) -> int:
+        """How many distinct shards this batch lands on."""
         return len(self.slices)
 
     def describe(self) -> str:
+        """Multi-line text rendering (header + one row per shard)."""
+        maintenance = (
+            f", splits={self.num_splits}, merges={self.num_merges}"
+            if self.num_splits or self.num_merges else ""
+        )
         lines = [
             f"batch of {self.num_queries:,} queries over "
             f"{self.num_shards} shard(s), mode={self.mode}, "
-            f"workers={self.workers}, touching {self.shards_touched} shard(s)"
+            f"workers={self.workers}, touching {self.shards_touched} "
+            f"shard(s){maintenance}"
         ]
         lines.extend(s.describe() for s in self.slices)
         return "\n".join(lines)

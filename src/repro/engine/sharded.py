@@ -33,7 +33,13 @@ router sends it to this shard (local rank 0) or the previous one (local
 rank = shard size), so no eager boundary maintenance is needed.  When a
 shard's update slack runs out it is refreshed in place, or split in two
 at a run-aligned median once it has outgrown twice the build-time
-target shard size.
+target shard size.  The structural dual also exists: a shard shrunk by
+deletes below a quarter of the target size **merges** into its smaller
+non-empty neighbour (:meth:`_merge_shards` — run-alignment is free
+because adjacent shards hold adjacent key ranges), so cold shards
+coalesce instead of lingering, and the §3.9 auto-tuner
+(:mod:`repro.engine.autotune`, :meth:`retune`) can resize the shard set
+in both directions.
 """
 
 from __future__ import annotations
@@ -61,6 +67,24 @@ from .backends import (
 LAYER_MODES = ("R", "S", None)
 
 
+def _as_tuner(auto_tune):
+    """Normalise the ``auto_tune`` argument into a ShardTuner or None.
+
+    Accepts ``False``/``None`` (tuning off), ``True`` (default
+    :class:`~repro.engine.autotune.AutoTuneConfig`), an
+    ``AutoTuneConfig``, or a ready :class:`ShardTuner`.
+    """
+    if not auto_tune:
+        return None
+    from .autotune import AutoTuneConfig, ShardTuner
+
+    if isinstance(auto_tune, ShardTuner):
+        return auto_tune
+    if isinstance(auto_tune, AutoTuneConfig):
+        return ShardTuner(auto_tune)
+    return ShardTuner()
+
+
 @dataclass(frozen=True)
 class WriteEvent:
     """One observed mutation, delivered to registered write listeners.
@@ -69,10 +93,11 @@ class WriteEvent:
     the mutated shard's routing interval widened to contain ``key``
     (``span[1] is None`` means unbounded above — the last shard).
     Content-changing kinds are ``"insert"`` and ``"delete"``;
-    ``"refresh"`` folds buffered updates back without changing the
-    logical key sequence, so listeners caching *answers* can ignore it.
-    Refreshes and shard splits/drains preserve content and therefore
-    never produce their own events.
+    ``"refresh"`` folds buffered updates back and ``"retune"`` re-runs
+    the §3.9 tuner over the shards — both without changing the logical
+    key sequence, so listeners caching *answers* can ignore them.
+    Refreshes, retunes and shard splits/merges/drains preserve content
+    and therefore never produce their own spanned events.
     """
 
     kind: str
@@ -129,9 +154,17 @@ class ShardedIndex:
         name: str = "sharded",
         config: BackendConfig | None = None,
         backend: str = "static",
+        auto_tune=False,
     ) -> None:
         if len(shards) != len(offsets) - 1:
             raise ValueError("need exactly one offset interval per shard")
+        #: the §3.9 per-shard tuner :meth:`retune` consults (None: manual
+        #: config only; retune() can still be invoked with an explicit
+        #: tuner).  Accepts bool | AutoTuneConfig | ShardTuner.
+        self.tuner = _as_tuner(auto_tune)
+        #: lifetime structural-maintenance counters (plan/explain columns)
+        self.num_splits = 0
+        self.num_merges = 0
         self.config = config if config is not None else BackendConfig()
         self.backend_kind = backend
         # adopt bare CorrectedIndex shards (the read-only construction
@@ -179,6 +212,7 @@ class ShardedIndex:
         backend: str = "static",
         density: float = 0.75,
         merge_threshold: int = 4096,
+        auto_tune=False,
     ) -> "ShardedIndex":
         """Partition ``keys`` and fit a backend (model + layer) per shard.
 
@@ -191,6 +225,19 @@ class ShardedIndex:
         the shard storage engine (:data:`~repro.engine.backends.BACKEND_KINDS`):
         ``"static"`` rebuilds on every write, ``"gapped"`` keeps
         ALEX-style gaps, ``"fenwick"`` buffers deltas §6-style.
+
+        ``auto_tune`` (bool, :class:`~repro.engine.autotune.AutoTuneConfig`
+        or :class:`~repro.engine.autotune.ShardTuner`) runs the §3.9
+        cost model per shard at build time: each shard large enough to
+        matter gets the model family and layer mode the tuner predicts
+        fastest for *its* slice of the key distribution, instead of the
+        global ``model``/``layer`` arguments.  The storage ``backend``
+        stays as requested at build time — no workload has been
+        observed yet; :meth:`retune` revisits it (and everything else)
+        once per-shard read/write counters exist.
+
+        Raises ``ValueError`` for empty/multi-dimensional keys or an
+        unknown layer/backend/model name.
         """
         keys = np.asarray(keys)
         if keys.ndim != 1 or len(keys) == 0:
@@ -206,6 +253,7 @@ class ShardedIndex:
             payload_bytes=payload_bytes, density=density,
             merge_threshold=merge_threshold,
         )
+        tuner = _as_tuner(auto_tune)
         offsets = snap_offsets(keys, num_shards)
         shards: list[ShardBackend | None] = []
         for s in range(num_shards):
@@ -213,11 +261,19 @@ class ShardedIndex:
             if hi <= lo:
                 shards.append(None)
                 continue
-            shards.append(
-                make_backend(backend, keys[lo:hi], config, name=f"{name}_s{s}")
-            )
+            slice_keys = keys[lo:hi]
+            shard_config, label = config, None
+            if tuner is not None and len(slice_keys) >= \
+                    tuner.config.min_shard_keys:
+                decision = tuner.decide(slice_keys, backends=(backend,))
+                shard_config = tuner.backend_config(decision, config)
+                label = decision.label
+            shard = make_backend(backend, slice_keys, shard_config,
+                                 name=f"{name}_s{s}")
+            shard.decision_label = label
+            shards.append(shard)
         return cls(shards, offsets, keys, name=name, config=config,
-                   backend=backend)
+                   backend=backend, auto_tune=tuner)
 
     # ------------------------------------------------------------------
     # routing
@@ -286,6 +342,7 @@ class ShardedIndex:
         s = int(self.route_batch(arr)[0])
         shard = self.shards[s]
         assert shard is not None, "router targeted an empty shard"
+        shard.stats.reads += 1
         if tracker is None:
             return int(self.offsets[s]) + shard.lookup(q)
         return int(self.offsets[s]) + shard.lookup(q, tracker)
@@ -384,6 +441,7 @@ class ShardedIndex:
             shard = self.shards[s]
             assert shard is not None, "router targeted an empty shard"
             shard.insert(key)
+            shard.stats.writes += 1
             self.offsets[s + 1 :] += 1
             self._keys_dirty = True
             span = self._write_span(s, key)
@@ -395,7 +453,10 @@ class ShardedIndex:
         """Delete one occurrence of ``key``; returns the shard id.
 
         Raises KeyError when the key is not present.  A delete that
-        drains its shard drops the shard from routing.
+        drains its shard drops the shard from routing; one that leaves
+        the shard *near-empty* (a quarter of the build-time target or
+        less) merges it into its smaller non-empty neighbour instead of
+        letting a sliver shard linger.
         """
         try:
             key = self._cast_key(key)
@@ -408,13 +469,18 @@ class ShardedIndex:
             shard = self.shards[s]
             assert shard is not None, "router targeted an empty shard"
             shard.delete(key)
+            shard.stats.writes += 1
             self.offsets[s + 1 :] -= 1
             self._keys_dirty = True
-            # span before maintenance: a split can re-home ``key``'s run
+            # span before maintenance: a split or merge can re-home
+            # ``key``'s run
             span = self._write_span(s, key)
             if len(shard) == 0:
                 self.shards[s] = None
                 self._refresh_routing()
+            elif len(shard) <= max(self._target_shard_keys // 4, 1) and \
+                    self._merge_into_neighbour(s) is not None:
+                pass  # coalesced; _merge_shards refreshed the routing
             else:
                 # delete-heavy workloads accumulate tombstones too: give the
                 # backend its amortised merge when the slack runs out
@@ -467,12 +533,149 @@ class ShardedIndex:
                             name=f"{self.name}_s{s}a")
         right = make_backend(shard.kind, logical[mid:], shard.config,
                              name=f"{self.name}_s{s}b")
+        left.origin = right.origin = "split"
+        left.decision_label = right.decision_label = shard.decision_label
         self.shards[s : s + 1] = [left, right]
         self.offsets = np.insert(self.offsets, s + 1,
                                  int(self.offsets[s]) + mid)
         self.num_shards += 1
+        self.num_splits += 1
         self._refresh_routing()
         return True
+
+    def _merge_into_neighbour(self, s: int) -> int | None:
+        """Merge shard ``s`` with an adjacent non-empty shard, if one fits.
+
+        The smaller of the two live neighbours is preferred, and a merge
+        only happens when the combined shard stays under the 2× split
+        trigger (otherwise the merged shard would immediately split
+        again).  Returns the surviving shard id, or ``None`` when no
+        viable neighbour exists.
+        """
+        nonempty = [int(x) for x in self._nonempty]
+        if s not in nonempty:
+            return None
+        pos = nonempty.index(s)
+        candidates = []
+        if pos > 0:
+            candidates.append(nonempty[pos - 1])
+        if pos < len(nonempty) - 1:
+            candidates.append(nonempty[pos + 1])
+        cap = max(2 * self._target_shard_keys, 8)
+        viable = [
+            t for t in candidates
+            if len(self.shards[t]) + len(self.shards[s]) < cap
+        ]
+        if not viable:
+            return None
+        t = min(viable, key=lambda t: len(self.shards[t]))
+        return self._merge_shards(min(s, t), max(s, t))
+
+    def _merge_shards(self, lo: int, hi: int) -> int:
+        """Coalesce shards ``lo`` and ``hi`` (the run-aligned dual of
+        :meth:`_split_shard`).
+
+        ``lo < hi`` must both be non-empty with only empty shards
+        between them; adjacent shards hold adjacent key ranges, so their
+        concatenated live keys are sorted and no duplicate run can
+        straddle the seam — run-alignment is preserved by construction.
+        The merged shard rebuilds with the larger ingredient's config
+        and inherits the summed workload counters.  Returns the
+        surviving shard id (``lo``).
+        """
+        left, right = self.shards[lo], self.shards[hi]
+        merged_keys = np.concatenate([left.keys(), right.keys()])
+        survivor = left if len(left) >= len(right) else right
+        merged = make_backend(survivor.kind, merged_keys, survivor.config,
+                              name=f"{self.name}_s{lo}m")
+        merged.origin = "merge"
+        merged.decision_label = survivor.decision_label
+        merged._stats = left.stats.merged_with(right.stats)
+        self.shards[lo : hi + 1] = [merged]
+        self.offsets = np.delete(self.offsets, np.arange(lo + 1, hi + 1))
+        self.num_shards -= hi - lo
+        self.num_merges += 1
+        self._refresh_routing()
+        return lo
+
+    # ------------------------------------------------------------------
+    # auto-tuning
+    # ------------------------------------------------------------------
+    def retune(self, tuner=None) -> list[dict]:
+        """Re-run the §3.9 cost model over every shard (maintenance pass).
+
+        For each live shard, feeds the shard's key slice and observed
+        read/write counters into the per-shard tuner
+        (:class:`~repro.engine.autotune.ShardTuner`); a shard whose
+        predicted-best configuration beats its current one by the
+        tuner's ``switch_margin`` is rebuilt in place — model family,
+        layer mode and storage backend can all change.  Hand-picked
+        configs outside the tuner's search space are scored as the
+        incumbent and enjoy the same hysteresis; only configs the
+        tuner cannot price (custom model callables, "S" layers) are
+        rebuilt without a margin check.  Afterwards a
+        merge pass coalesces shards that have shrunk below
+        ``merge_fraction`` of the build-time target, so the tuner can
+        resize the shard set downward as well as upward (splits).
+
+        ``tuner`` overrides the index's standing tuner (a default
+        :class:`ShardTuner` is used when neither exists).  The logical
+        key sequence is never changed, so cached answers stay valid;
+        listeners see one ``WriteEvent("retune", -1)``.  Returns one
+        action dict per shard visited: ``{"shard", "action", "label"}``
+        with action ``"keep"``, ``"rebuild"`` or ``"merge"``.
+        """
+        from .autotune import ShardTuner, decision_from_config
+
+        tuner = tuner if tuner is not None else self.tuner
+        if tuner is None:
+            tuner = ShardTuner()
+        actions: list[dict] = []
+        with self._write_lock:
+            for s in [int(x) for x in self._nonempty]:
+                shard = self.shards[s]
+                if len(shard) < tuner.config.min_shard_keys:
+                    continue
+                current = decision_from_config(shard.config, shard.kind)
+                decision = tuner.decide(shard.keys(), shard.stats,
+                                        current=current)
+                if current is not None and decision.label == current.label:
+                    shard.decision_label = decision.label
+                    actions.append({"shard": s, "action": "keep",
+                                    "label": decision.label,
+                                    "decision": decision})
+                    continue
+                rebuilt = make_backend(
+                    decision.backend, shard.keys(),
+                    tuner.backend_config(decision, shard.config),
+                    name=f"{self.name}_s{s}t",
+                )
+                rebuilt.origin = "retune"
+                rebuilt.decision_label = decision.label
+                rebuilt._stats = shard.stats  # keep the observation window
+                self.shards[s] = rebuilt
+                actions.append({"shard": s, "action": "rebuild",
+                                "label": decision.label,
+                                "decision": decision})
+            self._refresh_routing()
+            small = max(int(self._target_shard_keys
+                            * tuner.config.merge_fraction), 1)
+            merged = True
+            while merged:
+                merged = False
+                for s in [int(x) for x in self._nonempty]:
+                    if len(self.shards[s]) > small:
+                        continue
+                    survivor = self._merge_into_neighbour(s)
+                    if survivor is not None:
+                        actions.append({
+                            "shard": survivor, "action": "merge",
+                            "label": self.shards[survivor].decision_label,
+                        })
+                        merged = True
+                        break
+            self._notify(WriteEvent("retune", -1))
+        return actions
 
     # ------------------------------------------------------------------
     # accounting
@@ -507,6 +710,7 @@ class ShardedIndex:
         return sum(s.size_bytes() for s in self.shards if s is not None)
 
     def build_info(self) -> dict[str, object]:
+        """One-line summary dict: shard counts, sizes, staleness, bytes."""
         sizes = self.shard_sizes()
         return {
             "name": self.name,
@@ -518,6 +722,9 @@ class ShardedIndex:
             "max_shard": int(sizes.max()),
             "pending_updates": self.pending_updates(),
             "index_bytes": self.size_bytes(),
+            "splits": self.num_splits,
+            "merges": self.num_merges,
+            "auto_tune": self.tuner is not None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

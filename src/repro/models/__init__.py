@@ -13,7 +13,13 @@ from .base import (
     predicted_index,
     predicted_index_batch,
 )
-from .factory import MODEL_FACTORIES, ModelFactory, make_model
+from .factory import (
+    MODEL_FACTORIES,
+    IndexDecision,
+    ModelFactory,
+    build_corrected_index,
+    make_model,
+)
 from .histogram import HistogramModel
 from .interpolation import InterpolationModel
 from .linear import LinearModel
@@ -32,7 +38,9 @@ __all__ = [
     "PGMModel",
     "shrinking_cone_segments",
     "MODEL_FACTORIES",
+    "IndexDecision",
     "ModelFactory",
+    "build_corrected_index",
     "make_model",
     "predicted_index",
     "predicted_index_batch",

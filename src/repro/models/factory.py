@@ -11,6 +11,7 @@ argument of the Google-scale learned-index follow-ups.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -53,6 +54,29 @@ MODEL_FACTORIES: dict[str, ModelFactory] = {
 }
 
 
+@dataclass(frozen=True)
+class IndexDecision:
+    """A tuner's choice of model family and correction layer for one index.
+
+    The value a cost-model tuner (``core/tuner``, ``engine/autotune``)
+    hands to :func:`build_corrected_index`: ``model`` is a factory name
+    from :data:`MODEL_FACTORIES` or a ``keys -> CDFModel`` callable,
+    ``layer`` is ``"R"`` (guaranteed-window ShiftTable), ``"S"``
+    (compact layer) or ``None`` (bare model), and ``layer_partitions``
+    is the paper's ``M`` (``None`` means ``M = N``).
+    """
+
+    model: str | ModelFactory = "interpolation"
+    layer: str | None = "R"
+    layer_partitions: int | None = None
+
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``"rmi+R"`` (plan columns)."""
+        model = self.model if isinstance(self.model, str) else getattr(
+            self.model, "__name__", "custom")
+        return f"{model}+{self.layer or 'none'}"
+
+
 def make_model(kind: str | ModelFactory, keys: np.ndarray) -> CDFModel:
     """Fit a model of ``kind`` to a sorted key slice (shard-local).
 
@@ -72,7 +96,7 @@ def make_model(kind: str | ModelFactory, keys: np.ndarray) -> CDFModel:
 
 def build_corrected_index(
     keys: np.ndarray,
-    model: str | ModelFactory = "interpolation",
+    model: str | ModelFactory | IndexDecision = "interpolation",
     layer: str | None = "R",
     layer_partitions: int | None = None,
     payload_bytes: int | None = None,
@@ -85,7 +109,16 @@ def build_corrected_index(
     is configured exactly like the shard built at load time.  ``layer``
     is ``"R"`` (guaranteed-window ShiftTable), ``"S"`` (compact layer)
     or ``None`` (bare model).
+
+    ``model`` may also be an :class:`IndexDecision` — the output of a
+    cost-model tuner — in which case its model/layer/partition choices
+    override the ``layer``/``layer_partitions`` arguments.  Raises
+    ``ValueError`` for an unknown layer mode or model name.
     """
+    if isinstance(model, IndexDecision):
+        layer = model.layer
+        layer_partitions = model.layer_partitions
+        model = model.model
     # local imports: models.factory is imported by core modules, so a
     # top-level core import here would be circular
     from ..core.compact import CompactShiftTable

@@ -110,6 +110,7 @@ class ResultCache:
         return None
 
     def put_point(self, q, position: int) -> None:
+        """Cache the rank answer for point query ``q`` (LRU eviction)."""
         if self.point_capacity == 0:
             return
         key = scalar(q)
@@ -134,6 +135,7 @@ class ResultCache:
         return count
 
     def put_range(self, lo, hi, count: int) -> None:
+        """Cache the cardinality of ``lo <= key < hi`` (LRU eviction)."""
         if self.range_capacity == 0:
             return
         key = (scalar(lo), scalar(hi))
@@ -179,6 +181,7 @@ class ResultCache:
         return (1, len(dead))
 
     def clear(self) -> None:
+        """Drop every cached entry and the point-invalidation frontier."""
         self._points.clear()
         self._ranges.clear()
         self._cut_keys.clear()
@@ -197,6 +200,7 @@ class ResultCache:
         return (self.point_hits + self.range_hits) / total if total else 0.0
 
     def info(self) -> dict[str, object]:
+        """Flat counter dict: sizes, hits/misses, invalidations, rate."""
         return {
             "points": len(self._points),
             "ranges": len(self._ranges),

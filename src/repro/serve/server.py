@@ -166,8 +166,25 @@ class IndexServer:
         await self.batcher.drain()
         self.index.refresh()
 
+    async def retune(self, tuner=None) -> list[dict]:
+        """Run the §3.9 per-shard auto-tuner as an online maintenance pass.
+
+        Drains pending reads first (same barrier as a write) so no
+        batch straddles the shard rebuilds, then calls
+        :meth:`ShardedIndex.retune
+        <repro.engine.sharded.ShardedIndex.retune>` — which sees the
+        read/write mix this server's executor and write path have been
+        recording per shard.  Retuning preserves the logical key
+        sequence, so cached answers stay valid and no invalidation
+        happens.  Returns the per-shard action list.
+        """
+        await self.batcher.drain()
+        actions = self.index.retune(tuner)
+        self.stats.retunes += 1
+        return actions
+
     def _on_write(self, event: WriteEvent) -> None:
-        if event.kind == "refresh":
+        if event.kind in ("refresh", "retune"):
             return  # logical key sequence unchanged: cache stays valid
         self._write_epoch += 1
         dropped_points, dropped_ranges = self.cache.on_write(event)

@@ -29,6 +29,7 @@ class ServerStats:
         self.inflight = 0
         self.peak_inflight = 0
         self.backpressure_waits = 0
+        self.retunes = 0
 
     # ------------------------------------------------------------------
     # hot-path feeds
@@ -43,19 +44,23 @@ class ServerStats:
         self.batch_sizes[int(size)] += 1
 
     def record_cache_hit(self) -> None:
+        """One request answered straight from the result cache."""
         self.served += 1
         self.cache_hits += 1
 
     def record_write(self, dropped_points: int = 0, dropped_ranges: int = 0) -> None:
+        """One applied write and the cache entries it invalidated."""
         self.writes += 1
         self.invalidated_points += dropped_points
         self.invalidated_ranges += dropped_ranges
 
     def request_started(self) -> None:
+        """A request entered the server (tracks peak concurrency)."""
         self.inflight += 1
         self.peak_inflight = max(self.peak_inflight, self.inflight)
 
     def request_finished(self) -> None:
+        """The matching exit bookend of :meth:`request_started`."""
         self.inflight -= 1
 
     # ------------------------------------------------------------------
@@ -97,6 +102,7 @@ class ServerStats:
         return out
 
     def snapshot(self) -> dict[str, object]:
+        """Flat metrics dict (what the CLI and benchmarks print)."""
         return {
             "served": self.served,
             "p50_us": self.latency_us(50),
@@ -109,9 +115,11 @@ class ServerStats:
             "invalidated_ranges": self.invalidated_ranges,
             "peak_inflight": self.peak_inflight,
             "backpressure_waits": self.backpressure_waits,
+            "retunes": self.retunes,
         }
 
     def describe(self) -> str:  # pragma: no cover - formatting aid
+        """Multi-line text rendering of :meth:`snapshot` + histogram."""
         snap = self.snapshot()
         lines = [f"{k:>20}: {v}" for k, v in snap.items()]
         hist = self.batch_histogram()

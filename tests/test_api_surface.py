@@ -16,6 +16,8 @@ PUBLIC_MODULES = [
     "repro.datasets",
     "repro.bench",
     "repro.cli",
+    "repro.engine",
+    "repro.serve",
 ]
 
 
@@ -45,6 +47,16 @@ def test_public_callables_are_documented(module_name):
     assert not undocumented, f"{module_name}: undocumented {undocumented}"
 
 
+def _assert_methods_documented(*classes):
+    """Every public method of ``classes`` must carry a docstring."""
+    for cls in classes:
+        for name, member in inspect.getmembers(cls, inspect.isfunction):
+            if name.startswith("_") or member.__qualname__.startswith(
+                    ("object.", "dict.", "tuple.")):
+                continue
+            assert member.__doc__, f"{cls.__name__}.{name} undocumented"
+
+
 def test_public_classes_document_their_methods():
     """Public methods of the core classes must carry docstrings."""
     from repro import (
@@ -56,12 +68,40 @@ def test_public_classes_document_their_methods():
     )
     from repro.core.range_query import RangeQueryEngine
 
-    for cls in (ShiftTable, CompactShiftTable, CorrectedIndex, SortedData,
-                MachineSpec, RangeQueryEngine):
-        for name, member in inspect.getmembers(cls, inspect.isfunction):
-            if name.startswith("_"):
-                continue
-            assert member.__doc__, f"{cls.__name__}.{name} undocumented"
+    _assert_methods_documented(
+        ShiftTable, CompactShiftTable, CorrectedIndex, SortedData,
+        MachineSpec, RangeQueryEngine,
+    )
+
+
+def test_engine_and_serve_classes_document_their_methods():
+    """Every public method of the engine/serve API carries a docstring
+    (the PR-4 docstring-audit contract for the newer layers)."""
+    from repro.engine import (
+        AutoTuneConfig,
+        BatchExecutor,
+        ExecutionPlan,
+        ShardBackend,
+        ShardDecision,
+        ShardSlice,
+        ShardStats,
+        ShardTuner,
+        ShardedIndex,
+        WriteEvent,
+    )
+    from repro.serve import (
+        IndexServer,
+        MicroBatcher,
+        ResultCache,
+        ServerStats,
+    )
+
+    _assert_methods_documented(
+        ShardedIndex, BatchExecutor, ShardBackend, ShardTuner,
+        AutoTuneConfig, ShardDecision, ShardStats, ShardSlice,
+        ExecutionPlan, WriteEvent, IndexServer, MicroBatcher,
+        ResultCache, ServerStats,
+    )
 
 
 def test_version_string():

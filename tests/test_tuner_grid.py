@@ -1,0 +1,146 @@
+"""Edge cases for the §3.9 grid tuners (`tune_rmi`, `tune_radix_spline`)
+and the cost-consistency property of `tune()`: the chosen configuration
+is never costed worse than any alternative the report lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import LatencyCurve
+from repro.core.records import SortedData
+from repro.core.tuner import tune, tune_radix_spline, tune_rmi
+from repro.models.interpolation import InterpolationModel
+
+from helpers import sorted_uint_arrays
+
+#: A flat curve (local search cost does not grow with window size) and a
+#: cliff curve (cost explodes immediately) — the degenerate shapes a
+#: mis-measured machine could produce; the tuners must stay total.
+FLAT_CURVE = LatencyCurve(np.asarray([1, 65536]), np.asarray([50.0, 50.0]))
+CLIFF_CURVE = LatencyCurve(np.asarray([1, 2]), np.asarray([1.0, 10_000.0]))
+
+
+def small_data(n: int, seed: int = 0, dup_every: int = 0) -> SortedData:
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.integers(0, 1 << 32, n).astype(np.uint64))
+    if dup_every:
+        keys[:: dup_every] = keys[0]
+        keys = np.sort(keys)
+    return SortedData(keys, name="grid")
+
+
+# ----------------------------------------------------------------------
+# tune_rmi
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [2, 3, 5, 17])
+def test_tune_rmi_tiny_datasets(n):
+    """Leaf counts collapse to the n/32 cap but a model always comes back."""
+    model, considered = tune_rmi(small_data(n))
+    assert considered, "every candidate must be reported"
+    assert model.num_leaves >= 1
+    best = min(c["score_ns"] for c in considered)
+    chosen = [c for c in considered if c["score_ns"] == best]
+    assert any(c["leaves"] == model.num_leaves for c in chosen)
+
+
+def test_tune_rmi_duplicate_heavy_keys():
+    """A 50%-duplicate array (one giant run) still tunes cleanly."""
+    data = small_data(2_000, dup_every=2)
+    model, considered = tune_rmi(data)
+    assert model.mean_abs_error >= 0
+    assert min(c["score_ns"] for c in considered) == min(
+        c["score_ns"] for c in considered if c["leaves"] == model.num_leaves
+    )
+
+
+@pytest.mark.parametrize("curve", [FLAT_CURVE, CLIFF_CURVE])
+def test_tune_rmi_degenerate_latency_curves(curve):
+    """Flat/cliff curves change the scores, never break the argmin."""
+    model, considered = tune_rmi(small_data(3_000), curve=curve)
+    best = min(c["score_ns"] for c in considered)
+    assert any(
+        c["leaves"] == model.num_leaves and c["score_ns"] == best
+        for c in considered
+    )
+
+
+# ----------------------------------------------------------------------
+# tune_radix_spline
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [2, 4, 33])
+def test_tune_radix_spline_tiny_datasets(n):
+    model, considered = tune_radix_spline(small_data(n))
+    assert len(considered) == 3  # every epsilon evaluated
+    best = min(c["score_ns"] for c in considered)
+    assert any(
+        c["epsilon"] == model.epsilon and c["score_ns"] == best
+        for c in considered
+    )
+
+
+def test_tune_radix_spline_duplicate_heavy_keys():
+    data = small_data(2_000, dup_every=2)
+    model, considered = tune_radix_spline(data)
+    assert model.num_spline_points >= 2
+    assert all(np.isfinite(c["score_ns"]) for c in considered)
+
+
+@pytest.mark.parametrize("curve", [FLAT_CURVE, CLIFF_CURVE])
+def test_tune_radix_spline_degenerate_latency_curves(curve):
+    model, considered = tune_radix_spline(small_data(3_000), curve=curve)
+    best = min(c["score_ns"] for c in considered)
+    assert any(
+        c["epsilon"] == model.epsilon and c["score_ns"] == best
+        for c in considered
+    )
+
+
+# ----------------------------------------------------------------------
+# tune(): the chosen config is never costed worse than the alternatives
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=sorted_uint_arrays(min_size=32, max_size=300, max_value=1 << 40),
+    model_ns=st.floats(min_value=1.0, max_value=200.0),
+)
+def test_property_tune_choice_is_cost_minimal(keys, model_ns):
+    """With a latency curve, `tune()`'s decision matches the argmin of
+    the predicted latencies it reports in `considered`."""
+    if len(np.unique(keys)) < 2:
+        keys = np.concatenate([keys, keys + np.uint64(1)])
+    data = SortedData(keys, name="prop")
+    curve = LatencyCurve(
+        np.asarray([1, 16, 4096]), np.asarray([2.0, 40.0, 400.0])
+    )
+    index, report = tune(data, InterpolationModel(data.keys),
+                         curve=curve, model_ns=model_ns)
+    assert len(report.considered) == 2
+    chosen = [c for c in report.considered if c["chosen"]]
+    assert len(chosen) == 1
+    best = min(c["predicted_ns"] for c in report.considered)
+    # ties go to either side; the chosen one must not be strictly worse
+    assert chosen[0]["predicted_ns"] <= best + 1e-9
+    # and the decision is reflected in the built index
+    assert (index.layer is not None) == report.layer_enabled
+
+
+@settings(max_examples=25, deadline=None)
+@given(keys=sorted_uint_arrays(min_size=32, max_size=300, max_value=1 << 40))
+def test_property_tune_without_curve_reports_both_options(keys):
+    """Without a curve the §4.1 threshold rule decides, but both
+    configurations (and their errors) are still reported."""
+    if len(np.unique(keys)) < 2:
+        keys = np.concatenate([keys, keys + np.uint64(1)])
+    data = SortedData(keys, name="prop")
+    _, report = tune(data, InterpolationModel(data.keys))
+    layers = {c["layer"] for c in report.considered}
+    assert layers == {"R", None}
+    flags = [c["chosen"] for c in report.considered]
+    assert sum(flags) == 1
+    for c in report.considered:
+        assert c["predicted_ns"] is None
+        assert c["error"] >= 0.0
