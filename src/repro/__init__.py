@@ -3,14 +3,29 @@ Range Queries using Model Correction* (Hadian & Heinis, EDBT 2021).
 
 Public API tour
 ---------------
+The front door is the :class:`Index` facade — build, query, mutate,
+save/reopen and serve through one handle:
+
 >>> import numpy as np
->>> from repro import SortedData, InterpolationModel, ShiftTable, CorrectedIndex
+>>> import repro
 >>> keys = np.sort(np.random.default_rng(0).integers(0, 1 << 40, 100_000))
+>>> index = repro.Index.build(keys, repro.IndexConfig(num_shards=4))
+>>> int(index.lookup(keys[123])) == int(np.searchsorted(keys, keys[123]))
+True
+>>> bool(np.array_equal(index.scan(keys[10], keys[20]), keys[10:20]))
+True
+
+``index.save(path)`` / ``repro.open(path)`` persist and reopen the
+whole engine without refitting; ``index.serve()`` returns the asyncio
+serving front end.  The paper-layer primitives stay importable for
+fine-grained work:
+
+>>> from repro import SortedData, InterpolationModel, ShiftTable, CorrectedIndex
 >>> data = SortedData(keys)
 >>> model = InterpolationModel(keys)          # the paper's dummy IM model
 >>> layer = ShiftTable.build(keys, model)     # one-pass correction layer
->>> index = CorrectedIndex(data, model, layer)
->>> int(index.lookup(keys[123])) == int(np.searchsorted(keys, keys[123]))
+>>> paper_index = CorrectedIndex(data, model, layer)
+>>> int(paper_index.lookup(keys[123])) == int(index.lookup(keys[123]))
 True
 
 Subpackages: ``repro.core`` (Shift-Table, cost model, tuner),
@@ -20,10 +35,12 @@ Subpackages: ``repro.core`` (Shift-Table, cost model, tuner),
 hierarchy), ``repro.datasets`` (SOSD generators and surrogates),
 ``repro.bench`` (the experiment harness behind every table and figure),
 ``repro.engine`` (sharded vectorised batch engine with updatable shard
-backends), ``repro.serve`` (asyncio serving front end: micro-batching,
-write-coherent result caching, telemetry).
+backends and whole-engine persistence), ``repro.serve`` (asyncio
+serving front end: micro-batching, write-coherent result caching,
+telemetry).
 """
 
+from .api import Index, IndexConfig, open
 from .core import (
     CompactShiftTable,
     CorrectedIndex,
@@ -50,9 +67,12 @@ from .models import (
     RMIModel,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Index",
+    "IndexConfig",
+    "open",
     "ShiftTable",
     "CompactShiftTable",
     "CorrectedIndex",

@@ -15,6 +15,11 @@ subsample and its rate is extrapolated; all modes are verified against
 ``searchsorted`` ground truth before timing, so the numbers never come
 from a wrong engine.  Exposed both to the CLI (``python -m repro
 engine-bench``) and to ``benchmarks/bench_engine_throughput.py``.
+
+Index construction goes through the public :class:`repro.Index` facade
+(the path users take), so the CLI benchmark exercises the same surface
+the README documents; ``save_path``/``load_path`` round the workload
+through whole-engine persistence (``--save``/``--load`` on the CLI).
 """
 
 from __future__ import annotations
@@ -23,8 +28,9 @@ import time
 
 import numpy as np
 
+from ..api import Index, IndexConfig
 from ..datasets import load
-from ..engine import BatchExecutor, ShardedIndex
+from ..engine import BatchExecutor
 
 
 def _time_best(fn, repeats: int = 3) -> float:
@@ -48,32 +54,59 @@ def run_engine_throughput(
     workers: int = 1,
     scalar_queries: int | None = None,
     repeats: int = 3,
+    save_path: str | None = None,
+    load_path: str | None = None,
 ) -> list[dict[str, object]]:
     """Run all three modes and return one result row per mode.
 
     ``scalar_queries`` bounds the scalar-loop subsample (default: enough
-    to time reliably without dominating the run).
+    to time reliably without dominating the run).  ``load_path`` reopens
+    a saved index as the sharded contender (its live keys become the
+    dataset; ``dataset``/``n``/``num_shards`` are ignored, but
+    ``workers`` still applies — the pool width is a property of this
+    run, not of the artifact); ``save_path`` persists the sharded index
+    after the verified run.
     """
-    keys = load(dataset, n, seed)
+    if load_path is not None:
+        sharded = Index.open(load_path)
+        # override the persisted executor: benchmark with the worker
+        # count this invocation asked for (close the old one — its pool
+        # is lazy, but don't rely on that)
+        sharded.executor.close()
+        sharded.executor = BatchExecutor(sharded.engine, workers=workers)
+        keys = sharded.keys
+        num_shards = sharded.engine.num_shards
+    else:
+        keys = load(dataset, n, seed)
+        sharded = Index.build(
+            keys,
+            IndexConfig(num_shards=num_shards, model=model, layer=layer,
+                        workers=workers),
+            name="sharded",
+        )
     rng = np.random.default_rng(seed + 1)
-    queries = np.concatenate(
-        [
-            rng.choice(keys, num_queries // 2),
-            rng.integers(
-                0, np.iinfo(keys.dtype).max, num_queries - num_queries // 2,
-                dtype=np.uint64,
-            ).astype(keys.dtype),
-        ]
-    )
+    num_misses = num_queries - num_queries // 2
+    if keys.dtype.kind in "iu":
+        misses = rng.integers(
+            0, np.iinfo(keys.dtype).max, num_misses, dtype=np.uint64
+        ).astype(keys.dtype)
+    else:
+        # float-key archives can arrive via --load: draw misses over
+        # (and beyond) the key domain instead of np.iinfo, which only
+        # exists for integer dtypes
+        misses = rng.uniform(
+            float(keys[0]), float(keys[-1]) * 2 + 1, num_misses
+        ).astype(keys.dtype)
+    queries = np.concatenate([rng.choice(keys, num_queries // 2), misses])
     # shuffle so the scalar-loop subsample (queries[:scalar_queries])
     # sees the same hit/miss mix as the full batch — otherwise the
     # speedup ratio compares non-comparable workloads
     rng.shuffle(queries)
     truth = np.searchsorted(keys, queries, side="left")
 
-    single = ShardedIndex.build(keys, 1, model=model, layer=layer, name="single")
-    sharded = ShardedIndex.build(
-        keys, num_shards, model=model, layer=layer, name="sharded"
+    single = Index.build(
+        keys, IndexConfig(num_shards=1, model=model, layer=layer),
+        name="single",
     )
 
     if scalar_queries is None:
@@ -81,9 +114,10 @@ def run_engine_throughput(
     scalar_qs = queries[:scalar_queries]
 
     executors = [
-        ("scalar-loop", BatchExecutor(single, mode="scalar"), scalar_qs),
-        ("vectorized", BatchExecutor(single), queries),
-        (f"sharded[K={num_shards}]", BatchExecutor(sharded, workers=workers), queries),
+        ("scalar-loop", BatchExecutor(single.engine, mode="scalar"),
+         scalar_qs),
+        ("vectorized", single.executor, queries),
+        (f"sharded[K={num_shards}]", sharded.executor, queries),
     ]
 
     rows: list[dict[str, object]] = []
@@ -105,4 +139,6 @@ def run_engine_throughput(
     base = rows[0]["qps"]
     for row in rows:
         row["speedup_vs_scalar"] = float(row["qps"]) / float(base)
+    if save_path is not None:
+        sharded.save(save_path)
     return rows

@@ -3,12 +3,17 @@
 Thin wrappers over the experiment drivers and diagnostics so the
 reproduction can be poked without writing Python:
 
+* ``version``      — library + on-disk format versions (also ``--version``)
+* ``build``        — build an index via the ``repro.Index`` facade,
+  optionally ``--save`` it to disk
+* ``inspect``      — reopen a saved index and report its configuration
 * ``table2``       — run Table 2 cells for chosen datasets/methods
 * ``fig``          — run one figure driver (2, 3, 6, 7, 9)
 * ``datasets``     — list datasets with their §2.4/§3.6 diagnostics
 * ``tune``         — run the §3.9 advisor on one dataset
 * ``explain``      — trace a single lookup through model + layer
 * ``engine-bench`` — scalar vs vectorized vs sharded batch throughput
+  (``--save``/``--load`` round it through persistence)
 * ``engine-plan``  — EXPLAIN a query batch against a sharded index
 * ``engine-update-bench`` — mixed read/write workload across backends
 * ``serve-bench``  — async serving: micro-batching + caching vs unbatched
@@ -19,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -36,6 +42,84 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "per-command")
     parser.add_argument("--seed", type=int, default=None,
                         help="RNG seed for datasets and workloads")
+
+
+def _version_string() -> str:
+    from . import __version__
+    from .api import CONFIG_VERSION
+    from .engine.persist import FORMAT_VERSION
+
+    return (f"repro {__version__} "
+            f"(engine format v{FORMAT_VERSION}, config v{CONFIG_VERSION})")
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    print(_version_string())
+    return 0
+
+
+def _facade_config(args: argparse.Namespace):
+    """Build an IndexConfig from ``build``-style CLI arguments."""
+    from .api import IndexConfig
+
+    overrides = {"num_shards": args.shards, "workers": args.workers}
+    if args.preset:
+        return IndexConfig.from_preset(args.preset, **overrides)
+    return IndexConfig(
+        model=args.model,
+        layer=None if args.layer == "none" else args.layer,
+        backend=args.backend,
+        auto_tune=args.auto_tune,
+        **overrides,
+    )
+
+
+def _print_index_report(index) -> None:
+    """Shared ``build``/``inspect`` report: config, summary, EXPLAIN."""
+    print("config:  " + ", ".join(
+        f"{k}={v}" for k, v in index.config.to_dict().items()
+    ))
+    print("index:   " + ", ".join(
+        f"{k}={v}" for k, v in index.build_info().items()
+    ))
+    sample = np.random.default_rng(0).choice(
+        index.keys, min(4096, len(index))
+    )
+    print(index.explain(sample))
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .api import Index
+    from .datasets import load
+
+    n = args.n or 1_000_000
+    keys = load(args.dataset, n, args.seed or 42)
+    t0 = time.perf_counter()
+    index = Index.build(keys, _facade_config(args), name=args.dataset)
+    build_s = time.perf_counter() - t0
+    print(f"built {args.dataset} (n={n:,}) in {build_s:.2f}s")
+    _print_index_report(index)
+    if args.save:
+        from pathlib import Path
+
+        t0 = time.perf_counter()
+        index.save(args.save)
+        save_s = time.perf_counter() - t0
+        size_mb = Path(args.save).stat().st_size / 1e6
+        print(f"saved to {args.save} ({size_mb:.1f} MB) in {save_s:.2f}s — "
+              f"reopen with `python -m repro inspect {args.save}`")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .api import Index
+
+    t0 = time.perf_counter()
+    index = Index.open(args.path)
+    open_s = time.perf_counter() - t0
+    print(f"opened {args.path} in {open_s:.3f}s (no refitting)")
+    _print_index_report(index)
+    return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -198,6 +282,8 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
         layer=None if args.layer == "none" else args.layer,
         seed=args.seed if args.seed is not None else 42,
         workers=args.workers,
+        save_path=args.save,
+        load_path=args.load,
     )
     table = [
         [r["mode"], r["queries"], r["qps"], r["ns_per_lookup"],
@@ -344,7 +430,43 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Shift-Table reproduction (EDBT 2021) command line",
     )
+    parser.add_argument("--version", action="version",
+                        version=_version_string())
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("version",
+                       help="print library and on-disk format versions")
+    p.set_defaults(fn=_cmd_version)
+
+    p = sub.add_parser(
+        "build",
+        help="build an index through the repro.Index facade "
+             "(optionally --save it)",
+    )
+    p.add_argument("--dataset", default="uden64")
+    p.add_argument("--preset", default=None,
+                   choices=["read_heavy", "mixed", "auto"],
+                   help="IndexConfig preset (overrides --model/--layer/"
+                        "--backend)")
+    p.add_argument("--backend", default="static",
+                   choices=["static", "gapped", "fenwick"],
+                   help="shard storage backend")
+    p.add_argument("--auto-tune", action="store_true",
+                   help="run the §3.9 cost model per shard at build time")
+    p.add_argument("--save", default=None, metavar="PATH",
+                   help="persist the built index to PATH (.npz)")
+    _add_engine_options(p)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser(
+        "inspect",
+        help="reopen a saved index (repro.open) and report its "
+             "config/shards",
+    )
+    p.add_argument("path", help="file written by `build --save` or "
+                                "Index.save()")
+    p.set_defaults(fn=_cmd_inspect)
 
     p = sub.add_parser("table2", help="run Table 2 cells")
     p.add_argument("--datasets", nargs="*", default=None)
@@ -375,6 +497,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("engine-bench",
                        help="batch-engine throughput: scalar vs vectorized vs sharded")
     p.add_argument("--dataset", default="uden64")
+    p.add_argument("--save", default=None, metavar="PATH",
+                   help="persist the sharded index after the verified run")
+    p.add_argument("--load", default=None, metavar="PATH",
+                   help="reopen a saved index as the sharded contender "
+                        "(ignores --dataset/--n/--shards)")
     _add_engine_options(p)
     _add_common(p)
     p.set_defaults(fn=_cmd_engine_bench)

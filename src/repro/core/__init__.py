@@ -18,8 +18,13 @@ from .gapped import GappedLearnedIndex
 from .range_query import LookupTrace, RangeQueryEngine
 from .records import SortedData
 from .serialize import (
+    SERIALIZABLE_MODELS,
+    layer_from_state,
+    layer_to_state,
     load_layer,
     load_simple_model,
+    model_from_state,
+    model_to_state,
     save_compact_shift_table,
     save_shift_table,
     save_simple_model,
@@ -68,4 +73,9 @@ __all__ = [
     "load_layer",
     "save_simple_model",
     "load_simple_model",
+    "SERIALIZABLE_MODELS",
+    "model_to_state",
+    "model_from_state",
+    "layer_to_state",
+    "layer_from_state",
 ]

@@ -32,6 +32,13 @@ from .backends import (
     make_backend,
 )
 from .executor import MODES, BatchExecutor
+from .persist import (
+    FORMAT_VERSION,
+    IndexPersistError,
+    load_index,
+    read_manifest,
+    save_index,
+)
 from .plan import ExecutionPlan, ShardSlice
 from .sharded import LAYER_MODES, ShardedIndex, WriteEvent, snap_offsets
 
@@ -53,6 +60,11 @@ __all__ = [
     "ShardedIndex",
     "StaticBackend",
     "WriteEvent",
+    "FORMAT_VERSION",
+    "IndexPersistError",
     "decision_from_config",
+    "load_index",
+    "read_manifest",
+    "save_index",
     "snap_offsets",
 ]

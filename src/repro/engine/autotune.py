@@ -143,6 +143,41 @@ class AutoTuneConfig:
         if not (self.models and self.layers and self.backends):
             raise ValueError("models, layers and backends must be non-empty")
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict for persistence (``engine/persist``).
+
+        The measured latency ``curve`` is process-local (it prices
+        *this* machine) and is deliberately not persisted; a loaded
+        config scores with the log2 estimate until a fresh curve is
+        attached.  Inverted by :meth:`from_dict`.
+        """
+        return {
+            "models": list(self.models),
+            "layers": list(self.layers),
+            "backends": list(self.backends),
+            "layer_ns": self.layer_ns,
+            "min_shard_keys": self.min_shard_keys,
+            "min_observations": self.min_observations,
+            "default_write_fraction": self.default_write_fraction,
+            "switch_margin": self.switch_margin,
+            "merge_fraction": self.merge_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AutoTuneConfig":
+        """Rebuild a config written by :meth:`to_dict` (validated)."""
+        return cls(
+            models=tuple(payload["models"]),
+            layers=tuple(payload["layers"]),
+            backends=tuple(payload["backends"]),
+            layer_ns=float(payload["layer_ns"]),
+            min_shard_keys=int(payload["min_shard_keys"]),
+            min_observations=int(payload["min_observations"]),
+            default_write_fraction=float(payload["default_write_fraction"]),
+            switch_margin=float(payload["switch_margin"]),
+            merge_fraction=float(payload["merge_fraction"]),
+        )
+
 
 @dataclass(frozen=True)
 class ShardDecision:

@@ -35,7 +35,11 @@ from ..core.gapped import GappedLearnedIndex
 from ..core.shift_table import ShiftTable
 from ..hardware.machine import DEFAULT_PAYLOAD_BYTES
 from ..hardware.tracker import NULL_TRACKER, NullTracker
-from ..models.factory import MODEL_FACTORIES, ModelFactory, build_corrected_index
+from ..models.factory import (
+    ModelFactory,
+    build_corrected_index,
+    model_kind_name,
+)
 
 #: Shard storage engines the sharded index can be built with.
 BACKEND_KINDS = ("static", "gapped", "fenwick")
@@ -101,17 +105,7 @@ def config_from_index(index: CorrectedIndex,
     falls back to its own class as the factory callable.
     """
     model_type = type(index.model)
-    model: str | ModelFactory = model_type
-    for kind_name in MODEL_FACTORIES:
-        candidate = MODEL_FACTORIES[kind_name]
-        if candidate is model_type:
-            model = kind_name
-            break
-    else:
-        # scaled factories (rmi/histogram/radix_spline) wrap their type
-        named = {"RMIModel": "rmi", "HistogramModel": "histogram",
-                 "RadixSplineModel": "radix_spline"}
-        model = named.get(model_type.__name__, model)
+    model: str | ModelFactory = model_kind_name(model_type) or model_type
     if isinstance(index.layer, ShiftTable):
         layer = "R"
         partitions = (

@@ -183,6 +183,9 @@ class ShardedIndex:
         self.key_dtype = keys.dtype
         self.name = name
         self.num_shards = len(self.shards)
+        #: provenance: "built" for freshly-fitted indexes, "loaded" when
+        #: reopened from disk without refitting (``engine/persist``)
+        self.source = "built"
         if len(keys) == 0:
             raise ValueError("a ShardedIndex needs at least one key")
         #: build-time keys per shard; a shard splits once it doubles this
@@ -714,6 +717,7 @@ class ShardedIndex:
         sizes = self.shard_sizes()
         return {
             "name": self.name,
+            "source": self.source,
             "num_shards": self.num_shards,
             "num_keys": len(self),
             "backend": self.backend_kind,

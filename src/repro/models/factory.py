@@ -53,6 +53,28 @@ MODEL_FACTORIES: dict[str, ModelFactory] = {
     "histogram": _histogram_for,
 }
 
+#: Scaled factories (rmi/histogram/radix_spline) wrap their model type,
+#: so the reverse mapping cannot come from :data:`MODEL_FACTORIES` alone.
+_TYPE_TO_KIND = {
+    "RMIModel": "rmi",
+    "HistogramModel": "histogram",
+    "RadixSplineModel": "radix_spline",
+}
+
+
+def model_kind_name(model_type: type) -> str | None:
+    """The factory name that (re)builds ``model_type`` instances.
+
+    The inverse of :data:`MODEL_FACTORIES` (covering the scaled
+    factories that wrap their type); ``None`` for model types no named
+    factory produces — callers keep the type itself as a callable
+    factory in that case.
+    """
+    for kind_name, candidate in MODEL_FACTORIES.items():
+        if candidate is model_type:
+            return kind_name
+    return _TYPE_TO_KIND.get(model_type.__name__)
+
 
 @dataclass(frozen=True)
 class IndexDecision:

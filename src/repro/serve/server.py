@@ -35,6 +35,8 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 
+import numpy as np
+
 from ..core.corrected_index import CorrectedIndex
 from ..engine.executor import BatchExecutor
 from ..engine.sharded import ShardedIndex, WriteEvent
@@ -56,9 +58,12 @@ class IndexServer:
         range_cache: int = 4096,
         max_inflight: int = 8192,
         stats: ServerStats | None = None,
+        retune_interval: float | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if retune_interval is not None and retune_interval <= 0:
+            raise ValueError("retune_interval must be positive seconds")
         self.executor = BatchExecutor(index, workers=workers)
         self.index = self.executor.index
         self.stats = stats if stats is not None else ServerStats()
@@ -68,6 +73,14 @@ class IndexServer:
             stats=self.stats,
         )
         self.max_inflight = max_inflight
+        #: seconds between background §3.9 maintenance passes (None: the
+        #: caller retunes explicitly).  The timer task starts lazily on
+        #: the first served request — construction happens outside any
+        #: event loop — and is cancelled and awaited by :meth:`close`.
+        self.retune_interval = retune_interval
+        self._retune_task: asyncio.Task | None = None
+        #: the exception that stopped the background retune timer, if any
+        self.retune_error: Exception | None = None
         self._write_epoch = 0
         # backpressure slots: a plain counter (sync fast path — no
         # coroutine allocation per request) plus a FIFO of waiter
@@ -82,6 +95,7 @@ class IndexServer:
     # ------------------------------------------------------------------
     async def lookup(self, q) -> int:
         """Global lower-bound position of ``q`` (cache, then micro-batch)."""
+        self._maybe_start_background_retune()
         self.stats.request_started()
         try:
             cached = self.cache.get_point(q)
@@ -109,8 +123,10 @@ class IndexServer:
         Range answers are served as cardinalities — value-domain, hence
         immune to the global rank shifts that writes to *other* shards
         cause — which is what makes shard-aware cache invalidation
-        exact.  Use :meth:`range_positions` for the raw bounds.
+        exact.  Use :meth:`range_positions` for the raw bounds and
+        :meth:`range_keys` for the materialised keys.
         """
+        self._maybe_start_background_retune()
         self.stats.request_started()
         try:
             cached = self.cache.get_range(lo, hi)
@@ -135,6 +151,7 @@ class IndexServer:
 
     async def range_positions(self, lo, hi) -> tuple[int, int]:
         """``[first, last)`` global positions of a range (uncached)."""
+        self._maybe_start_background_retune()
         self.stats.request_started()
         try:
             if self._slots > 0:
@@ -148,16 +165,59 @@ class IndexServer:
         finally:
             self.stats.request_finished()
 
+    async def range_keys(self, lo, hi):
+        """Materialised keys in ``lo <= key < hi`` (the served scan).
+
+        Closes the serving parity gap with the engine's
+        ``BatchExecutor.scan_batch``: :meth:`range` answers only the
+        *cardinality*; this returns the key slice itself.  Key arrays
+        are unbounded-size answers, so they **bypass the result cache**
+        entirely — nothing to invalidate, nothing stale to serve.  The
+        positions still resolve through the micro-batcher; a write
+        landing between the batched position resolve and the slice
+        would make the slice stale, so the result is only used when no
+        write raced it (the same epoch guard the cache fill uses) and
+        the rare raced request retries, falling back to a synchronous
+        in-loop scan under sustained write pressure.
+        """
+        self._maybe_start_background_retune()
+        self.stats.request_started()
+        try:
+            for _ in range(4):
+                epoch = self._write_epoch
+                if self._slots > 0:
+                    self._slots -= 1
+                else:
+                    await self._take_slot()
+                try:
+                    first, last = await self.batcher.range(lo, hi)
+                finally:
+                    self._release_slot()
+                if epoch == self._write_epoch:
+                    # no await between the check and the slice: the keys
+                    # cannot move under a single event loop
+                    return self.index.keys[first:last]
+            # writes keep racing the batched path: answer synchronously
+            # (exact — no suspension point between resolve and slice)
+            first_arr, last_arr = self.executor.range_batch(
+                np.asarray([lo]), np.asarray([hi])
+            )
+            return self.index.keys[int(first_arr[0]):int(last_arr[0])]
+        finally:
+            self.stats.request_finished()
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
     async def insert(self, key) -> int:
         """Insert ``key``; pending reads flush first (write barrier)."""
+        self._maybe_start_background_retune()
         await self.batcher.drain()
         return self.index.insert(key)
 
     async def delete(self, key) -> int:
         """Delete one occurrence of ``key``; pending reads flush first."""
+        self._maybe_start_background_retune()
         await self.batcher.drain()
         return self.index.delete(key)
 
@@ -182,6 +242,47 @@ class IndexServer:
         actions = self.index.retune(tuner)
         self.stats.retunes += 1
         return actions
+
+    # ------------------------------------------------------------------
+    # background maintenance
+    # ------------------------------------------------------------------
+    def _maybe_start_background_retune(self) -> None:
+        """Start the retune timer once a loop exists (lazy, idempotent)."""
+        if (
+            self.retune_interval is None
+            or self._retune_task is not None
+            or self._closed
+        ):
+            return
+        self._retune_task = asyncio.get_running_loop().create_task(
+            self._retune_loop()
+        )
+
+    async def _retune_loop(self) -> None:
+        """The scheduled maintenance pass: sleep, retune, repeat.
+
+        Runs the same drain-then-retune sequence an explicit
+        :meth:`retune` call does, so batches never straddle shard
+        rebuilds; each pass is counted in
+        ``stats.background_retunes`` (on top of ``stats.retunes``).
+        A failing pass stops the timer and is surfaced as
+        ``stats.background_retune_errors`` (and ``retune_error``) —
+        maintenance must never take the serving path down with it.
+        Cancelled — after a final drain — by :meth:`close`.
+        """
+        while not self._closed:
+            await asyncio.sleep(self.retune_interval)
+            if self._closed:
+                return
+            try:
+                await self.retune()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self.retune_error = exc
+                self.stats.background_retune_errors += 1
+                return
+            self.stats.background_retunes += 1
 
     def _on_write(self, event: WriteEvent) -> None:
         if event.kind in ("refresh", "retune"):
@@ -225,10 +326,22 @@ class IndexServer:
         await self.batcher.drain()
 
     async def close(self) -> None:
-        """Flush pending requests, detach from the index, stop the pool."""
+        """Flush pending requests, detach from the index, stop the pool.
+
+        The background retune timer (``retune_interval``) is cancelled
+        and awaited first, so no maintenance pass can start after the
+        server is closed.
+        """
         if self._closed:
             return
         self._closed = True
+        task, self._retune_task = self._retune_task, None
+        if task is not None:
+            task.cancel()
+            # gather with return_exceptions: a timer that already died
+            # (its failure is recorded in retune_error) must not abort
+            # the rest of the shutdown sequence below
+            await asyncio.gather(task, return_exceptions=True)
         await self.batcher.drain()
         self.index.remove_write_listener(self._on_write)
         self.executor.close()

@@ -30,6 +30,8 @@ class ServerStats:
         self.peak_inflight = 0
         self.backpressure_waits = 0
         self.retunes = 0
+        self.background_retunes = 0
+        self.background_retune_errors = 0
 
     # ------------------------------------------------------------------
     # hot-path feeds
@@ -116,6 +118,8 @@ class ServerStats:
             "peak_inflight": self.peak_inflight,
             "backpressure_waits": self.backpressure_waits,
             "retunes": self.retunes,
+            "background_retunes": self.background_retunes,
+            "background_retune_errors": self.background_retune_errors,
         }
 
     def describe(self) -> str:  # pragma: no cover - formatting aid

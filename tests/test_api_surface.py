@@ -8,6 +8,7 @@ import pytest
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.models",
     "repro.search",
@@ -17,8 +18,30 @@ PUBLIC_MODULES = [
     "repro.bench",
     "repro.cli",
     "repro.engine",
+    "repro.engine.persist",
     "repro.serve",
 ]
+
+#: The PR-5 contract: the root namespace is the package's public API.
+#: Growing it is a deliberate act (update this snapshot in the same PR);
+#: shrinking or renaming it is a breaking change.
+EXPECTED_ROOT_ALL = {
+    # the facade (PR 5): one front door over the whole stack
+    "Index", "IndexConfig", "open",
+    # paper-layer primitives
+    "ShiftTable", "CompactShiftTable", "CorrectedIndex", "SortedData",
+    "UpdatableCorrectedIndex", "FenwickTree",
+    # cost model + tuning
+    "LatencyCurve", "measure_latency_curve", "expected_error",
+    "latency_with_layer", "latency_without_layer", "tune", "tune_rmi",
+    "tune_radix_spline",
+    # models
+    "CDFModel", "InterpolationModel", "LinearModel", "RMIModel",
+    "RadixSplineModel", "PGMModel",
+    # hardware simulation
+    "MachineSpec", "MemoryHierarchy", "SimTracker",
+    "__version__",
+}
 
 
 @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
@@ -102,6 +125,43 @@ def test_engine_and_serve_classes_document_their_methods():
         ExecutionPlan, WriteEvent, IndexServer, MicroBatcher,
         ResultCache, ServerStats,
     )
+
+
+def test_root_namespace_snapshot():
+    """``repro.__all__`` matches the published surface exactly."""
+    import repro
+
+    assert set(repro.__all__) == EXPECTED_ROOT_ALL
+    assert len(repro.__all__) == len(set(repro.__all__)), "duplicates"
+
+
+def test_facade_classes_document_their_methods():
+    """The PR-5 front door carries the same docstring contract as the
+    engine/serve layers."""
+    from repro import Index, IndexConfig
+    from repro.engine.persist import IndexPersistError
+
+    _assert_methods_documented(Index, IndexConfig, IndexPersistError)
+
+
+def test_facade_and_engine_agree(tmp_path):
+    """The facade is delegation: deep-import answers match it exactly,
+    including across a save/open cycle."""
+    import numpy as np
+
+    import repro
+    from repro.engine import BatchExecutor
+
+    keys = np.sort(
+        np.random.default_rng(0).integers(0, 1 << 40, 5_000, dtype=np.uint64)
+    )
+    index = repro.Index.build(keys, num_shards=3)
+    queries = np.random.default_rng(1).choice(keys, 500)
+    deep = BatchExecutor(index.engine).lookup_batch(queries)
+    assert np.array_equal(index.lookup_many(queries), deep)
+    index.save(tmp_path / "x.npz")
+    reopened = repro.open(tmp_path / "x.npz")
+    assert np.array_equal(reopened.lookup_many(queries), deep)
 
 
 def test_version_string():

@@ -335,3 +335,132 @@ def test_cancelled_backpressure_waiter_does_not_strand_queue(keys):
             server._release_slot()
 
     asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# PR 5 satellites: served scans + scheduled background retune
+# ----------------------------------------------------------------------
+def test_range_keys_matches_oracle_under_writes(keys):
+    """The served scan returns exactly the live keys of the range, even
+    with inserts/deletes interleaved between requests."""
+    index = ShardedIndex.build(keys, 3, backend="gapped")
+
+    async def scenario():
+        rng = np.random.default_rng(3)
+        oracle = keys.copy()
+        async with IndexServer(index) as server:
+            for i in range(25):
+                lo, hi = sorted(rng.choice(oracle, 2).tolist())
+                lo, hi = oracle.dtype.type(lo), oracle.dtype.type(hi)
+                got = await server.range_keys(lo, hi)
+                a, b = np.searchsorted(oracle, [lo, hi])
+                assert np.array_equal(got, oracle[a:b]), i
+                # count answers must agree with the materialised slice
+                assert await server.range(lo, hi) == len(got)
+                k = oracle.dtype.type(rng.integers(0, 1 << 40))
+                await server.insert(k)
+                oracle = np.insert(oracle, int(np.searchsorted(oracle, k)), k)
+            # inverted and empty ranges come back empty, not reversed
+            assert len(await server.range_keys(oracle[50], oracle[10])) == 0
+
+    asyncio.run(scenario())
+
+
+def test_range_keys_bypasses_the_result_cache(keys):
+    index = ShardedIndex.build(keys, 2)
+
+    async def scenario():
+        async with IndexServer(index) as server:
+            lo, hi = keys[10], keys[5000]
+            before = len(server.cache)
+            for _ in range(3):
+                await server.range_keys(lo, hi)
+            assert len(server.cache) == before  # nothing cached
+            assert server.stats.cache_hits == 0
+
+    asyncio.run(scenario())
+
+
+def test_range_keys_retries_when_writes_race_the_batch(keys):
+    """A write landing while the positions were in flight must not
+    produce a stale slice (the epoch guard forces a retry)."""
+    index = ShardedIndex.build(keys, 2, backend="gapped")
+
+    async def scenario():
+        rng = np.random.default_rng(7)
+        async with IndexServer(index, max_wait_us=5000.0) as server:
+            lo, hi = keys[100], keys[6000]
+
+            async def writer():
+                # lands after the scan's range() was queued: same-loop
+                # write barrier drains the batch, then mutates
+                k = keys.dtype.type(rng.integers(0, 1 << 40))
+                await server.insert(k)
+
+            scan_task = asyncio.create_task(server.range_keys(lo, hi))
+            write_task = asyncio.create_task(writer())
+            got, _ = await asyncio.gather(scan_task, write_task)
+            live = np.sort(index.keys)
+            a, b = np.searchsorted(live, [lo, hi])
+            assert np.array_equal(got, live[a:b])
+
+    asyncio.run(scenario())
+
+
+def test_background_retune_runs_and_stops_on_close(keys):
+    index = ShardedIndex.build(keys, 3, backend="gapped")
+
+    async def scenario():
+        server = IndexServer(index, retune_interval=0.02)
+        assert server._retune_task is None  # lazy: no loop work yet
+        rng = np.random.default_rng(1)
+        oracle = keys.copy()
+        # traffic starts the timer; answers stay exact across passes
+        for _ in range(3):
+            for q in rng.choice(oracle, 32):
+                assert await server.lookup(q) == int(
+                    np.searchsorted(oracle, q))
+            await asyncio.sleep(0.03)
+        assert server._retune_task is not None
+        snap = server.stats.snapshot()
+        assert snap["background_retunes"] >= 1
+        assert snap["retunes"] >= snap["background_retunes"]
+        await server.close()
+        assert server._retune_task is None
+        settled = server.stats.background_retunes
+        await asyncio.sleep(0.05)
+        assert server.stats.background_retunes == settled  # timer is dead
+
+    asyncio.run(scenario())
+
+
+def test_retune_interval_validation(keys):
+    index = ShardedIndex.build(keys, 2)
+    with pytest.raises(ValueError, match="retune_interval"):
+        IndexServer(index, retune_interval=0.0)
+
+
+def test_failed_background_retune_stops_timer_and_close_still_works(keys):
+    """A maintenance pass that raises must not kill serving or shutdown:
+    the timer stops, the error is surfaced, close() completes."""
+    index = ShardedIndex.build(keys, 2, backend="gapped")
+
+    async def scenario():
+        server = IndexServer(index, retune_interval=0.01)
+
+        async def bad_retune(tuner=None):
+            raise RuntimeError("tuner exploded")
+
+        server.retune = bad_retune  # type: ignore[method-assign]
+        assert await server.lookup(keys[5]) == int(
+            np.searchsorted(keys, keys[5]))
+        await asyncio.sleep(0.05)
+        assert server.stats.background_retune_errors == 1
+        assert isinstance(server.retune_error, RuntimeError)
+        # serving continues, and close() must not re-raise the failure
+        assert await server.lookup(keys[9]) == int(
+            np.searchsorted(keys, keys[9]))
+        await server.close()
+        assert server._retune_task is None
+
+    asyncio.run(scenario())
