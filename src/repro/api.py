@@ -39,6 +39,7 @@ from .engine.autotune import AutoTuneConfig
 from .engine.backends import BACKEND_KINDS, BackendConfig
 from .engine.executor import BatchExecutor
 from .engine.sharded import LAYER_MODES, ShardedIndex
+from .engine.wal import WAL_SYNC_MODES
 from .hardware.machine import DEFAULT_PAYLOAD_BYTES
 from .models.factory import MODEL_FACTORIES
 
@@ -46,7 +47,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .serve.server import IndexServer
 
 #: Version of the :class:`IndexConfig` dict layout (``to_dict``).
-CONFIG_VERSION = 1
+#: v2 added the ``durability`` field; v1 dicts load with it defaulted.
+CONFIG_VERSION = 2
 
 #: Named configuration profiles for :meth:`IndexConfig.from_preset`.
 PRESETS: dict[str, dict] = {
@@ -86,7 +88,12 @@ class IndexConfig:
     * ``auto_tune`` — ``False``, ``True`` (default
       :class:`~repro.engine.autotune.AutoTuneConfig`) or an explicit
       ``AutoTuneConfig``: run the §3.9 cost model per shard;
-    * ``workers`` — thread-pool width for cross-shard batch execution.
+    * ``workers`` — thread-pool width for cross-shard batch execution;
+    * ``durability`` — WAL fsync policy when the index is built with a
+      ``durable_dir`` (:data:`~repro.engine.wal.WAL_SYNC_MODES`):
+      ``"always"`` fsyncs every write, ``"group"`` amortises one fsync
+      over a commit group, ``"async"`` flushes without fsync; ``None``
+      means ``"group"`` when a durable directory is used.
 
     Validation happens at construction; ``to_dict()``/``from_dict()``
     round-trip the config (including the auto-tune sub-config) for
@@ -104,6 +111,7 @@ class IndexConfig:
     payload_bytes: int = DEFAULT_PAYLOAD_BYTES
     auto_tune: bool | AutoTuneConfig = False
     workers: int = 1
+    durability: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -141,6 +149,12 @@ class IndexConfig:
             )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.durability is not None and \
+                self.durability not in WAL_SYNC_MODES:
+            raise ValueError(
+                f"durability must be one of {WAL_SYNC_MODES} or None, "
+                f"got {self.durability!r}"
+            )
 
     @classmethod
     def from_preset(cls, name: str, **overrides) -> "IndexConfig":
@@ -231,6 +245,7 @@ class Index:
         config: IndexConfig,
         *,
         executor: BatchExecutor | None = None,
+        durability=None,
     ) -> None:
         self.engine = engine
         self._config = config
@@ -238,6 +253,10 @@ class Index:
             executor if executor is not None
             else BatchExecutor(engine, workers=config.workers)
         )
+        #: the :class:`~repro.engine.durability.DurabilityManager`
+        #: logging this index's writes (None: memory-only).  Owned by
+        #: the facade: :meth:`close` commits and releases it.
+        self.durability = durability
 
     # ------------------------------------------------------------------
     # construction
@@ -249,6 +268,7 @@ class Index:
         config: IndexConfig | str | None = None,
         *,
         name: str = "index",
+        durable_dir: str | Path | None = None,
         **overrides,
     ) -> "Index":
         """Fit a full engine over sorted ``keys``.
@@ -259,6 +279,13 @@ class Index:
         way:
 
         >>> index = Index.build(keys, "mixed", num_shards=4)  # doctest: +SKIP
+
+        ``durable_dir`` makes the index crash-safe from birth: a WAL +
+        checkpoint directory (:mod:`repro.engine.durability`) is
+        initialised there, every subsequent ``insert``/``delete`` is
+        logged, and :func:`repro.open <open>` on that directory
+        recovers the index after a crash.  The fsync policy comes from
+        ``config.durability`` (default ``"group"``).
         """
         config = _as_config(config, overrides)
         engine = ShardedIndex.build(
@@ -274,42 +301,75 @@ class Index:
             merge_threshold=config.merge_threshold,
             auto_tune=config.auto_tune,
         )
-        return cls(engine, config)
+        manager = None
+        if durable_dir is not None:
+            from .engine.durability import DurabilityManager
+
+            manager = DurabilityManager.create(
+                engine, durable_dir,
+                sync=config.durability or "group",
+                index_config=config.to_dict(),
+            )
+        return cls(engine, config, durability=manager)
 
     @classmethod
     def open(cls, path: str | Path) -> "Index":
         """Reopen an index saved with :meth:`save` — no refitting.
 
+        ``path`` may be a ``.npz`` snapshot written by :meth:`save`
+        **or** a durable directory created by
+        ``build(durable_dir=...)``: directories recover through the
+        checkpoint + WAL-replay path (:mod:`repro.engine.durability`)
+        and come back with logging live, snapshots load read-the-file
+        style with no durability attached.
+
         The loaded engine answers bit-identically to the saved one
         (models, layers, pending update buffers, tuner decisions all
-        restored); ``build_info()["source"]`` reads ``"loaded"``.
-        Raises :class:`~repro.engine.persist.IndexPersistError` for
-        corrupted, truncated or version-incompatible files.
+        restored); ``build_info()["source"]`` reads ``"loaded"`` (or
+        ``"recovered"``).  Raises
+        :class:`~repro.engine.persist.IndexPersistError` for corrupted,
+        truncated or version-incompatible files and
+        :class:`~repro.engine.durability.DurabilityError` for
+        unrecoverable directories.
         """
+        from .engine.durability import DurabilityManager, is_durable_dir
+
+        if Path(path).is_dir() or is_durable_dir(path):
+            manager = DurabilityManager.recover(path)
+            saved = manager.index_config
+            config = (
+                IndexConfig.from_dict(saved) if saved is not None
+                else cls._derive_config(manager.index)
+            )
+            return cls(manager.index, config, durability=manager)
         from .engine.persist import load_index
 
         engine, manifest = load_index(path)
         saved = manifest.get("index_config")
-        if saved is not None:
-            config = IndexConfig.from_dict(saved)
-        else:
-            # saved straight from the engine layer: derive the facade
-            # view from the engine's own BackendConfig
-            bc = engine.config
-            config = IndexConfig(
-                num_shards=engine.num_shards,
-                model=bc.model if isinstance(bc.model, str)
-                else "interpolation",
-                layer=bc.layer,
-                layer_partitions=bc.layer_partitions,
-                backend=engine.backend_kind,
-                density=bc.density,
-                merge_threshold=bc.merge_threshold,
-                payload_bytes=bc.payload_bytes,
-                auto_tune=(engine.tuner.config if engine.tuner is not None
-                           else False),
-            )
+        config = (
+            IndexConfig.from_dict(saved) if saved is not None
+            else cls._derive_config(engine)
+        )
         return cls(engine, config)
+
+    @staticmethod
+    def _derive_config(engine: ShardedIndex) -> IndexConfig:
+        """Facade view of an engine persisted without an ``index_config``
+        (saved or checkpointed straight from the engine layer)."""
+        bc = engine.config
+        return IndexConfig(
+            num_shards=engine.num_shards,
+            model=bc.model if isinstance(bc.model, str)
+            else "interpolation",
+            layer=bc.layer,
+            layer_partitions=bc.layer_partitions,
+            backend=engine.backend_kind,
+            density=bc.density,
+            merge_threshold=bc.merge_threshold,
+            payload_bytes=bc.payload_bytes,
+            auto_tune=(engine.tuner.config if engine.tuner is not None
+                       else False),
+        )
 
     def save(self, path: str | Path) -> dict:
         """Serialise the whole engine to ``path`` (one ``.npz`` file).
@@ -391,6 +451,35 @@ class Index:
         return self.engine.retune(tuner)
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        """Whether writes to this index are WAL-logged."""
+        return self.durability is not None
+
+    def _require_durability(self):
+        if self.durability is None:
+            raise ValueError(
+                "this index has no durability layer; build it with "
+                "durable_dir=... or open a durable directory"
+            )
+        return self.durability
+
+    def commit(self) -> int:
+        """Group-commit the WAL: fsync every logged write; returns the
+        durable LSN.  Under ``durability="always"`` writes commit
+        themselves and this is a cheap no-op barrier."""
+        return self._require_durability().commit()
+
+    def checkpoint(self) -> dict:
+        """Flush all shards to a new checkpoint generation incrementally
+        (one shard at a time — writers in other threads are never
+        blocked for longer than one shard's snapshot) and prune the WAL
+        behind it.  Returns the published manifest."""
+        return self._require_durability().checkpoint()
+
+    # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
     def serve(self, **server_opts) -> "IndexServer":
@@ -403,10 +492,16 @@ class Index:
 
             async with index.serve(retune_interval=30.0) as server:
                 position = await server.lookup(q)
+
+        A durable index hands its manager to the server automatically,
+        so awaited writes are acknowledged writes and
+        ``checkpoint_interval=`` schedules background checkpoints.
         """
         from .serve.server import IndexServer
 
         server_opts.setdefault("workers", self._config.workers)
+        if self.durability is not None:
+            server_opts.setdefault("durability", self.durability)
         return IndexServer(self.engine, **server_opts)
 
     # ------------------------------------------------------------------
@@ -440,7 +535,9 @@ class Index:
         return self.engine.build_info()
 
     def close(self) -> None:
-        """Release the executor's worker pool (no-op without workers)."""
+        """Commit + release the durability layer and the worker pool."""
+        if self.durability is not None:
+            self.durability.close()
         self.executor.close()
 
     def __enter__(self) -> "Index":

@@ -5,8 +5,13 @@ reproduction can be poked without writing Python:
 
 * ``version``      — library + on-disk format versions (also ``--version``)
 * ``build``        — build an index via the ``repro.Index`` facade,
-  optionally ``--save`` it to disk
+  optionally ``--save`` it to disk or ``--durable-dir`` it into a
+  WAL + checkpoint directory
 * ``inspect``      — reopen a saved index and report its configuration
+* ``recover``      — crash-recover a durable directory (checkpoint +
+  WAL replay) and report what came back
+* ``checkpoint``   — run one incremental checkpoint pass over a
+  durable directory and prune its WAL
 * ``table2``       — run Table 2 cells for chosen datasets/methods
 * ``fig``          — run one figure driver (2, 3, 6, 7, 9)
 * ``datasets``     — list datasets with their §2.4/§3.6 diagnostics
@@ -94,11 +99,21 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
     n = args.n or 1_000_000
     keys = load(args.dataset, n, args.seed or 42)
+    config = _facade_config(args)
+    if args.durability:
+        from dataclasses import replace
+
+        config = replace(config, durability=args.durability)
     t0 = time.perf_counter()
-    index = Index.build(keys, _facade_config(args), name=args.dataset)
+    index = Index.build(keys, config, name=args.dataset,
+                        durable_dir=args.durable_dir)
     build_s = time.perf_counter() - t0
     print(f"built {args.dataset} (n={n:,}) in {build_s:.2f}s")
     _print_index_report(index)
+    if args.durable_dir:
+        print(f"durable: {index.durability.describe()} — recover with "
+              f"`python -m repro recover {args.durable_dir}`")
+        index.close()
     if args.save:
         from pathlib import Path
 
@@ -119,6 +134,51 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     open_s = time.perf_counter() - t0
     print(f"opened {args.path} in {open_s:.3f}s (no refitting)")
     _print_index_report(index)
+    index.close()
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .api import Index
+
+    t0 = time.perf_counter()
+    index = Index.open(args.path)
+    open_s = time.perf_counter() - t0
+    if index.durability is None:
+        print(f"{args.path} is a plain snapshot, not a durable directory",
+              file=sys.stderr)
+        index.close()
+        return 1
+    d = index.durability
+    print(f"recovered {args.path} in {open_s:.3f}s "
+          f"(checkpoint generation {d.generation}, "
+          f"replayed {d.replayed} WAL records, skipped {d.skipped})")
+    _print_index_report(index)
+    if args.checkpoint:
+        t0 = time.perf_counter()
+        manifest = index.checkpoint()
+        print(f"checkpointed to generation {manifest['generation']} "
+              f"in {time.perf_counter() - t0:.2f}s (WAL pruned)")
+    index.close()
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from .api import Index
+
+    index = Index.open(args.path)
+    if index.durability is None:
+        print(f"{args.path} is a plain snapshot, not a durable directory",
+              file=sys.stderr)
+        index.close()
+        return 1
+    t0 = time.perf_counter()
+    manifest = index.checkpoint()
+    dt = time.perf_counter() - t0
+    print(f"checkpointed {args.path} to generation "
+          f"{manifest['generation']} in {dt:.2f}s "
+          f"({len(manifest['segments'])} shard segments, WAL pruned)")
+    index.close()
     return 0
 
 
@@ -455,6 +515,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the §3.9 cost model per shard at build time")
     p.add_argument("--save", default=None, metavar="PATH",
                    help="persist the built index to PATH (.npz)")
+    p.add_argument("--durable-dir", default=None, metavar="DIR",
+                   help="initialise a WAL + checkpoint directory at DIR "
+                        "(crash-safe writes; reopen with `recover`)")
+    p.add_argument("--durability", default=None,
+                   choices=["always", "group", "async"],
+                   help="WAL fsync policy for --durable-dir "
+                        "(default group)")
     _add_engine_options(p)
     _add_common(p)
     p.set_defaults(fn=_cmd_build)
@@ -465,8 +532,29 @@ def build_parser() -> argparse.ArgumentParser:
              "config/shards",
     )
     p.add_argument("path", help="file written by `build --save` or "
-                                "Index.save()")
+                                "Index.save(), or a durable directory")
     p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser(
+        "recover",
+        help="crash-recover a durable directory (checkpoint + WAL "
+             "replay) and report the result",
+    )
+    p.add_argument("path", help="directory written by `build "
+                                "--durable-dir`")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="write a fresh checkpoint after recovery "
+                        "(prunes the replayed WAL)")
+    p.set_defaults(fn=_cmd_recover)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="run one incremental checkpoint pass over a durable "
+             "directory and prune its WAL",
+    )
+    p.add_argument("path", help="directory written by `build "
+                                "--durable-dir`")
+    p.set_defaults(fn=_cmd_checkpoint)
 
     p = sub.add_parser("table2", help="run Table 2 cells")
     p.add_argument("--datasets", nargs="*", default=None)

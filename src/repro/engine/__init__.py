@@ -31,14 +31,22 @@ from .backends import (
     StaticBackend,
     make_backend,
 )
+from .durability import (
+    DurabilityError,
+    DurabilityManager,
+    is_durable_dir,
+)
 from .executor import MODES, BatchExecutor
 from .persist import (
     FORMAT_VERSION,
     IndexPersistError,
     load_index,
+    load_shard_segment,
     read_manifest,
     save_index,
+    save_shard_segment,
 )
+from .wal import WAL_SYNC_MODES, WalError, WalRecord, WalWriter, read_wal
 from .plan import ExecutionPlan, ShardSlice
 from .sharded import LAYER_MODES, ShardedIndex, WriteEvent, snap_offsets
 
@@ -47,6 +55,8 @@ __all__ = [
     "BACKEND_KINDS",
     "BackendConfig",
     "BatchExecutor",
+    "DurabilityError",
+    "DurabilityManager",
     "ExecutionPlan",
     "FenwickBackend",
     "GappedBackend",
@@ -59,12 +69,20 @@ __all__ = [
     "ShardTuner",
     "ShardedIndex",
     "StaticBackend",
+    "WAL_SYNC_MODES",
+    "WalError",
+    "WalRecord",
+    "WalWriter",
     "WriteEvent",
     "FORMAT_VERSION",
     "IndexPersistError",
     "decision_from_config",
+    "is_durable_dir",
     "load_index",
+    "load_shard_segment",
     "read_manifest",
+    "read_wal",
     "save_index",
+    "save_shard_segment",
     "snap_offsets",
 ]

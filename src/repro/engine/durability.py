@@ -1,0 +1,591 @@
+"""Durable writes: WAL + incremental checkpoints + crash recovery.
+
+:class:`DurabilityManager` turns a live :class:`~repro.engine.sharded.ShardedIndex`
+into a crash-safe one, following the production pattern of learned
+indexes over immutable on-disk runs plus delta buffers ("Learned
+Indexes for a Google-scale Disk-based Database"): models are expensive
+to fit and cheap to use, so recovery *replays data into buffers* and
+never refits models.
+
+Three cooperating pieces, one directory::
+
+    index.db/
+      MANIFEST.json                  # generation-counted root pointer
+      segments/g<gen>-s<shard>.npz   # one checkpointed shard each
+      wal/g<gen>/lane-<shard>.wal    # CRC-framed mutation log
+
+* **WAL** (:mod:`repro.engine.wal`) — every applied ``insert``/``delete``
+  is appended (via the engine's :class:`~repro.engine.sharded.WriteEvent`
+  hook, under the write lock, so LSN order *is* apply order) and group-
+  commit fsynced.  A write is *acknowledged* once its LSN is
+  ``durable_lsn`` or below.
+* **Incremental checkpoints** — :meth:`DurabilityManager.checkpoint`
+  flushes **one shard at a time**: the engine write lock is held only
+  while a shard is snapshotted into owned array copies
+  (:func:`~repro.engine.persist.encode_shard_state`); serialising and
+  fsyncing the segment file happens with no lock held.  Writers are
+  never blocked for longer than one shard's snapshot — the whole point,
+  versus :func:`~repro.engine.persist.save_index` holding the lock
+  across the full archive.  Structural maintenance (splits/merges) is
+  deferred for the duration (:meth:`ShardedIndex.defer_maintenance`) so
+  shard ids in segment files and WAL records agree; it catches up the
+  moment the pass ends.  Each segment records the WAL position
+  (``flushed_lsn``) its state already contains.
+* **Crash recovery** — :meth:`DurabilityManager.recover` loads the last
+  *published* manifest (manifests are fsynced and atomically replaced,
+  so a crash mid-pass leaves the previous generation intact), decodes
+  every segment without refitting, and replays the WAL tail: a record
+  is applied unless its LSN is at or below the flushed LSN of the shard
+  it was originally applied to.  Replayed writes flow through the
+  ordinary ``insert``/``delete`` paths, which the ``gapped``/``fenwick``
+  backends absorb into their pending-update buffers — stale model plus
+  fresh deltas, refit only when ordinary maintenance decides to.
+
+Consistency argument (why the per-shard LSN filter is exact): shard
+structure is frozen during a pass, so a record tagged ``s`` with
+``lsn <= flushed_lsn[s]`` was applied before shard ``s`` was
+snapshotted — its effect is inside the segment; one with a larger LSN
+was applied after — its effect is not, and cannot be inside any *other*
+segment because the key routed to ``s`` for as long as the structure
+stayed frozen.  Records from before the pass are below every flushed
+LSN (the WAL rotates to a fresh generation at pass start); records
+after it are above every flushed LSN; both fall out of the same test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from .persist import (
+    _config_from_dict,
+    _config_to_dict,
+    _fsync_dir,
+    encode_shard_state,
+    load_shard_segment,
+    save_shard_segment,
+)
+from .sharded import ShardedIndex, WriteEvent
+from .wal import (
+    OP_DELETE,
+    OP_INSERT,
+    WalWriter,
+    list_generations,
+    read_wal,
+)
+
+#: Manifest magic marking a directory as a durable index.
+DURABLE_FORMAT_NAME = "repro-durable-index"
+
+#: Durable-directory layout version; bump on incompatible changes.
+DURABLE_FORMAT_VERSION = 1
+
+#: The generation-counted root pointer file.
+MANIFEST_NAME = "MANIFEST.json"
+
+_SEGMENT_RE = re.compile(r"^g(\d{10})-s(\d{4})\.npz$")
+
+
+class DurabilityError(ValueError):
+    """A durable index directory could not be written or recovered.
+
+    Raised with a human-readable reason: not a durable index directory,
+    an unsupported layout version, an unrecoverable (empty) state, or a
+    checkpoint attempted on an empty index.
+    """
+
+
+def is_durable_dir(path: str | Path) -> bool:
+    """Whether ``path`` looks like a durable index directory."""
+    return (Path(path) / MANIFEST_NAME).is_file()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Durably publish a small text file (fsync + rename + dir fsync)."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp_path = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
+
+
+class DurabilityManager:
+    """Owns one index's WAL, checkpoints and recovery lifecycle.
+
+    Create with :meth:`create` (fresh directory around a live engine) or
+    :meth:`recover` (reopen after a crash or clean shutdown); both
+    attach the manager as a write listener, after which every engine
+    mutation is logged before the caller hears back.  ``sync``
+    (:data:`~repro.engine.wal.WAL_SYNC_MODES`) sets the fsync policy:
+    ``"always"`` commits inside the write call, ``"group"`` leaves the
+    fsync to :meth:`commit` (one fsync acknowledges many writes — the
+    asyncio server batches concurrent writers onto one), ``"async"``
+    never fsyncs.  Thread-safe the way the engine is: mutations are
+    serialised by the engine write lock, and :meth:`commit` /
+    :meth:`checkpoint` may run from another thread (the server runs
+    both off the event loop).
+    """
+
+    def __init__(
+        self,
+        index: ShardedIndex,
+        root: str | Path,
+        wal: WalWriter,
+        *,
+        generation: int,
+        sync: str,
+        index_config: dict | None = None,
+        manifest: dict | None = None,
+        replayed: int = 0,
+        skipped: int = 0,
+    ) -> None:
+        self.index = index
+        self.root = Path(root)
+        self.wal = wal
+        self.sync = sync
+        #: generation of the last *published* manifest
+        self.generation = generation
+        #: the manifest currently on disk (None until first checkpoint)
+        self.manifest = manifest
+        #: facade-level config dict carried through manifests verbatim
+        self.index_config = index_config
+        #: WAL records applied / skipped by the recovery that built this
+        #: manager (both 0 for :meth:`create`)
+        self.replayed = replayed
+        self.skipped = skipped
+        self._checkpoint_lock = threading.Lock()
+        self._listening = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        index: ShardedIndex,
+        root: str | Path,
+        *,
+        sync: str = "group",
+        group_ops: int = 256,
+        index_config: dict | None = None,
+    ) -> "DurabilityManager":
+        """Wrap a live engine in a fresh durable directory.
+
+        Writes the initial checkpoint (generation 1) so recovery always
+        has a base to replay onto, then starts logging.  Refuses a
+        directory that already holds a durable index — reopening one is
+        :meth:`recover`'s job, and silently re-initialising would orphan
+        its WAL.
+        """
+        root = Path(root)
+        if is_durable_dir(root):
+            raise DurabilityError(
+                f"{root} already contains a durable index — use "
+                "DurabilityManager.recover() to reopen it"
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        wal = WalWriter(
+            root / "wal", index.key_dtype,
+            generation=0, start_lsn=1, sync=sync, group_ops=group_ops,
+        )
+        manager = cls(
+            index, root, wal, generation=0, sync=sync,
+            index_config=index_config,
+        )
+        manager._attach()
+        try:
+            manager.checkpoint()
+        except BaseException:
+            manager.close()
+            raise
+        return manager
+
+    @classmethod
+    def recover(
+        cls,
+        root: str | Path,
+        *,
+        sync: str | None = None,
+        group_ops: int = 256,
+    ) -> "DurabilityManager":
+        """Reopen a durable directory: last good checkpoint + WAL replay.
+
+        Loads the published manifest's segments (no refitting), replays
+        every WAL record past its shard's flushed LSN in LSN order
+        through the ordinary write paths (buffered backends absorb them
+        as pending deltas), and resumes logging on a fresh WAL
+        generation with continuing LSNs.  ``sync=None`` keeps the policy
+        recorded in the manifest.  Raises :class:`DurabilityError` for
+        directories that are not (or no longer) recoverable.
+        """
+        root = Path(root)
+        manifest = cls._read_manifest(root)
+        if sync is None:
+            sync = manifest.get("sync", "group")
+        key_dtype = np.dtype(manifest["key_dtype"])
+
+        shards, flushed_lsns, lengths = [], [], []
+        for name in manifest["segments"]:
+            seg_manifest, shard = load_shard_segment(root / name)
+            shards.append(shard)
+            flushed_lsns.append(int(seg_manifest["flushed_lsn"]))
+            lengths.append(int(seg_manifest["length"]))
+
+        records, torn = read_wal(
+            root / "wal", min_generation=int(manifest["generation"])
+        )
+        index = cls._build_engine(manifest, shards, lengths, key_dtype)
+        replayed = skipped = 0
+        for record in records:
+            if (
+                record.shard < len(flushed_lsns)
+                and record.lsn <= flushed_lsns[record.shard]
+            ):
+                continue  # effect already inside that shard's segment
+            if index is None:
+                if record.op != OP_INSERT:
+                    skipped += 1  # a delete cannot land on emptiness
+                    continue
+                index = cls._seed_engine(manifest, record.key, key_dtype)
+                replayed += 1
+                continue
+            if record.op == OP_INSERT:
+                index.insert(record.key)
+                replayed += 1
+            elif record.op == OP_DELETE:
+                try:
+                    index.delete(record.key)
+                    replayed += 1
+                except KeyError:
+                    # a torn, never-acknowledged tail can keep a delete
+                    # whose matching insert was lost; acknowledged
+                    # records can never hit this (their dependencies
+                    # were fsynced by the same or an earlier commit)
+                    skipped += 1
+            else:
+                raise DurabilityError(
+                    f"unknown WAL opcode {record.op} at LSN {record.lsn}"
+                )
+        if index is None:
+            raise DurabilityError(
+                f"{root} recovered to an empty index (all keys deleted "
+                "and no inserts to replay) — nothing to reopen"
+            )
+        index.source = "recovered"
+
+        max_lsn = max(
+            [r.lsn for r in records] + flushed_lsns + [0]
+        )
+        wal_gens = list_generations(root / "wal")
+        next_generation = max(
+            wal_gens + [int(manifest["generation"])]
+        ) + 1
+        wal = WalWriter(
+            root / "wal", key_dtype,
+            generation=next_generation, start_lsn=max_lsn + 1,
+            sync=sync, group_ops=group_ops,
+        )
+        manager = cls(
+            index, root, wal,
+            generation=int(manifest["generation"]), sync=sync,
+            index_config=manifest.get("index_config"), manifest=manifest,
+            replayed=replayed, skipped=skipped,
+        )
+        manager._attach()
+        return manager
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        if not self._listening:
+            self.index.add_write_listener(self._on_write)
+            self._listening = True
+
+    def _on_write(self, event: WriteEvent) -> None:
+        # runs under the engine write lock, after the mutation applied:
+        # LSN order is apply order, and only *successful* writes log
+        if event.kind == "insert":
+            op = OP_INSERT
+        elif event.kind == "delete":
+            op = OP_DELETE
+        else:
+            return  # refresh/retune never change the logical keys
+        self.wal.append(op, event.shard, event.key)
+
+    def commit(self) -> int:
+        """Group-commit: make every logged write durable; returns the LSN.
+
+        One fsync per call regardless of how many writes accumulated —
+        callers that batch writes (the serving layer) acknowledge them
+        all with this single call.
+        """
+        return self.wal.commit()
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently logged write."""
+        return self.wal.last_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN guaranteed to survive a crash."""
+        return self.wal.durable_lsn
+
+    @property
+    def needs_commit(self) -> bool:
+        """Whether logged writes are still awaiting their group fsync."""
+        return self.wal.durable_lsn < self.wal.last_lsn
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self, *, resume: bool = True) -> dict:
+        """Flush every shard to a new segment generation, incrementally.
+
+        Safe under live traffic: writers are only ever blocked for one
+        shard's in-memory snapshot (plus WAL rotation at the start),
+        never for serialisation, compression or fsync.  Publishing the
+        manifest is the commit point — a crash anywhere before it leaves
+        the previous generation authoritative, and the WAL tail covers
+        everything since.  Returns the published manifest.
+
+        ``resume=False`` leaves structural maintenance deferred on
+        success; the caller must invoke
+        :meth:`ShardedIndex.resume_maintenance` itself.  The asyncio
+        server uses this to run the flush off the event loop but the
+        catch-up splits *on* it, ordered with its lock-free readers.
+        A failing pass always resumes before raising.
+        """
+        with self._checkpoint_lock:
+            if self._closed:
+                raise DurabilityError("the durability manager is closed")
+            index = self.index
+            if len(index) == 0:
+                raise DurabilityError(
+                    "cannot checkpoint an empty index (no keys)"
+                )
+            generation = max(self.generation, self.wal.generation) + 1
+            seg_dir = self.root / "segments"
+            seg_dir.mkdir(exist_ok=True)
+            with index._write_lock:
+                index.defer_maintenance()
+                # records before this rotation land in generations the
+                # new manifest supersedes; after it, in the one it keeps
+                self.wal.rotate(generation)
+                num_shards = index.num_shards
+            published = False
+            try:
+                segments: list[str] = []
+                flushed_lsns: list[int] = []
+                for s in range(num_shards):
+                    with index._write_lock:
+                        shard = index.shards[s]
+                        entry, arrays = encode_shard_state(shard)
+                        length = 0 if shard is None else len(shard)
+                        flushed = self.wal.last_lsn
+                    # lock released: serialise + fsync without blocking
+                    name = f"segments/g{generation:010d}-s{s:04d}.npz"
+                    save_shard_segment(
+                        self.root / name, entry, arrays,
+                        shard_id=s, generation=generation,
+                        flushed_lsn=flushed, length=length,
+                    )
+                    segments.append(name)
+                    flushed_lsns.append(flushed)
+                with index._write_lock:
+                    tuner = index.tuner
+                    manifest = {
+                        "format": DURABLE_FORMAT_NAME,
+                        "format_version": DURABLE_FORMAT_VERSION,
+                        "generation": generation,
+                        "key_dtype": index.key_dtype.str,
+                        "sync": self.sync,
+                        "name": index.name,
+                        "backend": index.backend_kind,
+                        "config": _config_to_dict(index.config),
+                        "auto_tune": (
+                            tuner.config.to_dict()
+                            if tuner is not None else None
+                        ),
+                        "target_shard_keys": index._target_shard_keys,
+                        "num_splits": index.num_splits,
+                        "num_merges": index.num_merges,
+                        "index_config": self.index_config,
+                        "segments": segments,
+                        "flushed_lsns": flushed_lsns,
+                        "next_lsn": self.wal.next_lsn,
+                    }
+                _atomic_write_text(
+                    self.root / MANIFEST_NAME,
+                    json.dumps(manifest, sort_keys=True, indent=1),
+                )
+                self.generation = generation
+                self.manifest = manifest
+                published = True
+            finally:
+                if resume or not published:
+                    index.resume_maintenance()
+            # the new manifest is live: everything older is garbage
+            self.wal.drop_generations_below(generation)
+            self._drop_stale_segments(generation)
+            return manifest
+
+    def _drop_stale_segments(self, generation: int) -> None:
+        seg_dir = self.root / "segments"
+        removed = False
+        for path in seg_dir.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if match and int(match.group(1)) < generation:
+                path.unlink(missing_ok=True)
+                removed = True
+        if removed:
+            _fsync_dir(seg_dir)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Final group commit, detach from the engine, release the WAL.
+
+        Close is *not* a checkpoint: the WAL tail alone makes the last
+        acknowledged state recoverable, which is the contract.  Safe to
+        call twice.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._listening:
+            self.index.remove_write_listener(self._on_write)
+            self._listening = False
+        self.wal.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def describe(self) -> dict:
+        """One-line health dict: generation, LSNs, replay counters."""
+        return {
+            "root": str(self.root),
+            "generation": self.generation,
+            "sync": self.sync,
+            "last_lsn": self.last_lsn,
+            "durable_lsn": self.durable_lsn,
+            "replayed": self.replayed,
+            "skipped": self.skipped,
+        }
+
+    # ------------------------------------------------------------------
+    # recovery internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_manifest(root: Path) -> dict:
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise DurabilityError(
+                f"{root} is not a durable index directory "
+                f"(no {MANIFEST_NAME})"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DurabilityError(
+                f"{manifest_path} is unreadable: {exc}"
+            ) from exc
+        if manifest.get("format") != DURABLE_FORMAT_NAME:
+            raise DurabilityError(
+                f"{manifest_path} is not a durable index manifest "
+                f"(format={manifest.get('format')!r})"
+            )
+        version = int(manifest.get("format_version", -1))
+        if version > DURABLE_FORMAT_VERSION or version < 1:
+            raise DurabilityError(
+                f"{root} uses durable layout version {version}; this "
+                f"library reads versions 1..{DURABLE_FORMAT_VERSION}"
+            )
+        return manifest
+
+    @staticmethod
+    def _engine_kwargs(manifest: dict) -> dict:
+        auto_tune: object = False
+        if manifest.get("auto_tune") is not None:
+            from .autotune import AutoTuneConfig
+
+            auto_tune = AutoTuneConfig.from_dict(manifest["auto_tune"])
+        return {
+            "name": manifest["name"],
+            "config": _config_from_dict(manifest["config"]),
+            "backend": manifest["backend"],
+            "auto_tune": auto_tune,
+        }
+
+    @classmethod
+    def _build_engine(
+        cls, manifest: dict, shards: list, lengths: list[int],
+        key_dtype: np.dtype,
+    ) -> ShardedIndex | None:
+        """Checkpoint segments -> live engine (None if all empty)."""
+        if sum(lengths) == 0:
+            return None
+        offsets = np.zeros(len(shards) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        live = [s.keys() for s in shards if s is not None]
+        keys = np.concatenate(live) if live else np.empty(0, key_dtype)
+        index = ShardedIndex(
+            shards, offsets, keys, **cls._engine_kwargs(manifest)
+        )
+        index._target_shard_keys = int(manifest["target_shard_keys"])
+        index.num_splits = int(manifest["num_splits"])
+        index.num_merges = int(manifest["num_merges"])
+        return index
+
+    @classmethod
+    def _seed_engine(
+        cls, manifest: dict, key, key_dtype: np.dtype,
+    ) -> ShardedIndex:
+        """An engine reborn from one replayed insert (checkpoint was
+        empty — every key had been deleted when the pass ran)."""
+        kwargs = cls._engine_kwargs(manifest)
+        config = kwargs.pop("config")
+        index = ShardedIndex.build(
+            np.asarray([key], dtype=key_dtype), 1,
+            model=config.model, layer=config.layer,
+            layer_partitions=config.layer_partitions,
+            payload_bytes=config.payload_bytes,
+            density=config.density,
+            merge_threshold=config.merge_threshold,
+            **kwargs,
+        )
+        index._target_shard_keys = int(manifest["target_shard_keys"])
+        index.num_splits = int(manifest["num_splits"])
+        index.num_merges = int(manifest["num_merges"])
+        return index
+
+
+__all__ = [
+    "DURABLE_FORMAT_NAME",
+    "DURABLE_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "DurabilityError",
+    "DurabilityManager",
+    "is_durable_dir",
+]

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import zipfile
 from pathlib import Path
 
@@ -66,6 +67,10 @@ FORMAT_VERSION = 1
 
 #: Manifest magic marking a file as a whole-engine archive.
 FORMAT_NAME = "repro-sharded-index"
+
+#: Manifest magic marking a file as a single-shard checkpoint segment
+#: (the incremental-checkpoint unit — see :mod:`repro.engine.durability`).
+SEGMENT_FORMAT_NAME = "repro-shard-segment"
 
 
 class IndexPersistError(ValueError):
@@ -246,6 +251,52 @@ def _decode_shard(entry: dict, arrays: dict) -> ShardBackend:
 
 
 # ----------------------------------------------------------------------
+# durable file plumbing
+# ----------------------------------------------------------------------
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_savez(path: Path, payload: dict) -> None:
+    """Write an ``.npz`` so a crash never publishes a partial file.
+
+    The archive goes to a ``mkstemp`` temp file in the target directory
+    — *unique per writer*, so two processes saving to the same path
+    cannot interleave bytes into one shared ``.tmp`` and publish a
+    corrupt archive; last ``os.replace`` wins with both results intact.
+    The temp file is flushed and ``fsync``\\ ed before the rename and the
+    parent directory is fsynced after it: without both, a power loss
+    shortly after "saving" can leave the *old* name pointing at the new
+    (unwritten) bytes — an atomic rename is only crash-durable once the
+    data below it is.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp_path = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
+
+
+# ----------------------------------------------------------------------
 # checksum
 # ----------------------------------------------------------------------
 def _checksum(manifest_json: str, arrays: dict[str, np.ndarray]) -> str:
@@ -333,18 +384,10 @@ def save_index(
             "checksum": np.asarray(_checksum(manifest_json, arrays)),
         }
         payload.update(arrays)
-        path = Path(path)
-        # atomic replace: a save killed mid-write (OOM, disk-full,
-        # SIGKILL) must not destroy the previous good artifact — the
-        # whole point of the file is surviving process churn
-        tmp_path = path.with_name(path.name + ".tmp")
-        try:
-            with tmp_path.open("wb") as fh:
-                np.savez(fh, **payload)
-            os.replace(tmp_path, path)
-        except BaseException:
-            tmp_path.unlink(missing_ok=True)
-            raise
+        # atomic replace + fsync contract: a save killed mid-write (OOM,
+        # disk-full, SIGKILL) must not destroy the previous good
+        # artifact, and a save that *returned* must survive power loss
+        _atomic_savez(Path(path), payload)
     return manifest
 
 
@@ -360,45 +403,53 @@ def read_manifest(path: str | Path) -> dict:
     return manifest
 
 
-def _read_verified(path: str | Path):
+def _read_verified(path: str | Path, expected_format: str = FORMAT_NAME):
+    # the ``with`` wraps the np.load call itself (the idiom
+    # ``core/serialize.load_layer`` uses): the archive's zip handle —
+    # and the file descriptor under it — is closed on every exit path,
+    # including the error raises below, instead of leaking until the
+    # garbage collector gets around to it
     path = Path(path)
     try:
-        archive = np.load(path, allow_pickle=False)
+        with np.load(path, allow_pickle=False) as archive:
+            files = set(archive.files)
+            if "manifest" not in files or "checksum" not in files:
+                raise IndexPersistError(
+                    f"{path} is not a saved index "
+                    "(missing manifest/checksum)"
+                )
+            manifest_json = str(archive["manifest"])
+            try:
+                manifest = json.loads(manifest_json)
+            except json.JSONDecodeError as exc:
+                raise IndexPersistError(
+                    f"{path} has an unreadable manifest: {exc}"
+                ) from exc
+            if manifest.get("format") != expected_format:
+                raise IndexPersistError(
+                    f"{path} is not a saved index "
+                    f"(format={manifest.get('format')!r}, "
+                    f"expected {expected_format!r})"
+                )
+            version = int(manifest.get("format_version", -1))
+            if version > FORMAT_VERSION or version < 1:
+                raise IndexPersistError(
+                    f"{path} uses engine format version {version}; this "
+                    f"library reads versions 1..{FORMAT_VERSION} — "
+                    "upgrade the library or re-save the index"
+                )
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name not in ("manifest", "checksum")
+            }
+            expected = str(archive["checksum"])
     except (OSError, ValueError, zipfile.BadZipFile, KeyError) as exc:
+        if isinstance(exc, IndexPersistError):
+            raise
         raise IndexPersistError(
             f"{path} is not a readable saved index: {exc}"
         ) from exc
-    with archive:
-        files = set(archive.files)
-        if "manifest" not in files or "checksum" not in files:
-            raise IndexPersistError(
-                f"{path} is not a saved index (missing manifest/checksum)"
-            )
-        manifest_json = str(archive["manifest"])
-        try:
-            manifest = json.loads(manifest_json)
-        except json.JSONDecodeError as exc:
-            raise IndexPersistError(
-                f"{path} has an unreadable manifest: {exc}"
-            ) from exc
-        if manifest.get("format") != FORMAT_NAME:
-            raise IndexPersistError(
-                f"{path} is not a saved index "
-                f"(format={manifest.get('format')!r})"
-            )
-        version = int(manifest.get("format_version", -1))
-        if version > FORMAT_VERSION or version < 1:
-            raise IndexPersistError(
-                f"{path} uses engine format version {version}; this "
-                f"library reads versions 1..{FORMAT_VERSION} — upgrade "
-                "the library or re-save the index"
-            )
-        arrays = {
-            name: archive[name]
-            for name in archive.files
-            if name not in ("manifest", "checksum")
-        }
-        expected = str(archive["checksum"])
     actual = _checksum(manifest_json, arrays)
     if actual != expected:
         raise IndexPersistError(
@@ -458,11 +509,99 @@ def load_index(path: str | Path) -> tuple[ShardedIndex, dict]:
     return index, manifest
 
 
+# ----------------------------------------------------------------------
+# per-shard checkpoint segments (the incremental-persistence unit)
+# ----------------------------------------------------------------------
+def encode_shard_state(
+    shard: ShardBackend | None,
+) -> tuple[dict | None, dict[str, np.ndarray]]:
+    """Snapshot one shard into ``(manifest entry, owned array copies)``.
+
+    The under-the-lock half of an incremental checkpoint:
+    :func:`_encode_shard` returns *live views* into the shard's storage,
+    so this copies every array while the caller holds the engine write
+    lock — after it returns, the snapshot is immune to concurrent
+    writers and :func:`save_shard_segment` can run with no lock held.
+    An empty (``None``) shard snapshots to ``(None, {})``.
+    """
+    if shard is None:
+        return None, {}
+    try:
+        entry, arrays = _encode_shard(shard)
+    except TypeError as exc:
+        raise IndexPersistError(
+            f"shard is not serialisable: {exc}"
+        ) from exc
+    return entry, {k: np.array(v, copy=True) for k, v in arrays.items()}
+
+
+def save_shard_segment(
+    path: str | Path,
+    entry: dict | None,
+    arrays: dict[str, np.ndarray],
+    *,
+    shard_id: int,
+    generation: int,
+    flushed_lsn: int,
+    length: int,
+) -> dict:
+    """Write one shard snapshot as a standalone, checksummed ``.npz``.
+
+    The unit of an *incremental* checkpoint
+    (:mod:`repro.engine.durability`): where :func:`save_index` holds the
+    engine write lock across the whole archive, a checkpoint pass
+    snapshots one shard at a time (:func:`encode_shard_state`, under the
+    lock) and writes it here **outside** the lock — ``flushed_lsn``
+    records the WAL position the shard's state already contains, so
+    recovery replays only the records past it.  An empty (``None``)
+    entry writes a segment with no arrays, keeping the manifest's shard
+    list positional.  Same fsync + atomic-replace contract as
+    :func:`save_index`.  Returns the segment manifest.
+    """
+    manifest = {
+        "format": SEGMENT_FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "shard_id": int(shard_id),
+        "generation": int(generation),
+        "flushed_lsn": int(flushed_lsn),
+        "length": int(length),
+        "entry": entry,
+    }
+    manifest_json = json.dumps(manifest, sort_keys=True)
+    payload = {
+        "manifest": np.asarray(manifest_json),
+        "checksum": np.asarray(_checksum(manifest_json, arrays)),
+    }
+    payload.update(arrays)
+    _atomic_savez(Path(path), payload)
+    return manifest
+
+
+def load_shard_segment(
+    path: str | Path,
+) -> tuple[dict, ShardBackend | None]:
+    """Read a segment written by :func:`save_shard_segment`.
+
+    Returns ``(segment manifest, live shard backend or None)`` after
+    checksum verification; raises :class:`IndexPersistError` for
+    corrupted, truncated or non-segment files.
+    """
+    manifest, arrays = _read_verified(path, SEGMENT_FORMAT_NAME)
+    entry = manifest.get("entry")
+    if entry is None:
+        return manifest, None
+    return manifest, _decode_shard(entry, arrays)
+
+
 __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "SEGMENT_FORMAT_NAME",
     "IndexPersistError",
+    "encode_shard_state",
     "load_index",
+    "load_shard_segment",
     "read_manifest",
     "save_index",
+    "save_shard_segment",
 ]

@@ -197,6 +197,12 @@ class ShardedIndex:
         #: the asyncio serving front end) orders them onto one thread.
         self._write_lock = threading.RLock()
         self._write_listeners: list[Callable[[WriteEvent], None]] = []
+        #: while True, structural maintenance (splits, merges) is
+        #: deferred: shard ids stay stable so an incremental checkpoint
+        #: (``engine/durability``) can flush one shard at a time while
+        #: writers keep mutating.  Set/cleared under the write lock;
+        #: :meth:`resume_maintenance` catches up the deferred work.
+        self._defer_maintenance = False
         self._refresh_routing()
 
     # ------------------------------------------------------------------
@@ -498,10 +504,46 @@ class ShardedIndex:
                 self.shards[int(s)].refresh()
             self._notify(WriteEvent("refresh", -1))
 
+    def defer_maintenance(self) -> None:
+        """Freeze the shard *structure* (no splits/merges) until resumed.
+
+        Inserts, deletes and in-place refreshes keep working; only the
+        operations that renumber shards are parked.  The incremental
+        checkpointer (:mod:`repro.engine.durability`) wraps its pass in
+        this so per-shard segment files and WAL shard tags agree about
+        which shard is which.  Re-entrant calls are idempotent.
+        """
+        with self._write_lock:
+            self._defer_maintenance = True
+
+    def resume_maintenance(self) -> None:
+        """Re-enable splits/merges and catch up the deferred ones.
+
+        Sweeps the live shards (highest id first, so a split's id shift
+        never disturbs the remaining sweep) and applies the split /
+        refresh each shard has earned while maintenance was parked;
+        merges stay lazy — the next delete or retune pass picks them up,
+        exactly as it would after any quiet period.
+        """
+        with self._write_lock:
+            if not self._defer_maintenance:
+                return
+            self._defer_maintenance = False
+            for s in sorted((int(x) for x in self._nonempty),
+                            reverse=True):
+                self._maybe_maintain(s)
+
     def _maybe_maintain(self, s: int) -> None:
         """Split an outgrown shard; refresh one whose slack ran out."""
         shard = self.shards[s]
         if shard is None:
+            return
+        if self._defer_maintenance:
+            # a checkpoint pass is flushing shards: structure must stay
+            # put, but an in-place refresh is content- and id-stable,
+            # so buffered backends still get their amortised merge
+            if shard.needs_refresh():
+                shard.refresh()
             return
         size = len(shard)
         if size >= max(2 * self._target_shard_keys, 8):
@@ -555,6 +597,8 @@ class ShardedIndex:
         again).  Returns the surviving shard id, or ``None`` when no
         viable neighbour exists.
         """
+        if self._defer_maintenance:
+            return None  # checkpoint in flight: shard ids must not move
         nonempty = [int(x) for x in self._nonempty]
         if s not in nonempty:
             return None

@@ -1,0 +1,520 @@
+"""Per-shard write-ahead log: CRC-framed mutation records, group commit.
+
+The durability layer's first half (the second is
+:mod:`repro.engine.durability`): every ``insert``/``delete`` the sharded
+engine applies is appended here *before* it is acknowledged, so a crash
+can lose at most the un-fsynced tail — never a write the caller was told
+succeeded.
+
+Layout
+------
+A WAL lives under ``<root>/wal/`` as numbered **generations** (one per
+checkpoint pass — rotating at a pass's start is what lets whole older
+generations be deleted once the pass publishes):
+
+.. code-block:: text
+
+    wal/
+      g0000000001/
+        lane-0000.wal      # records applied to shard 0
+        lane-0003.wal      # records applied to shard 3
+      g0000000002/
+        ...
+
+Within a generation the log is **per shard**: each record is appended to
+the lane file of the shard that absorbed the write, so a future
+multi-writer engine appends without cross-shard contention and
+checkpoint bookkeeping stays per shard.  Every record carries a global,
+monotonically increasing **LSN**; readers merge all lanes by LSN, which
+restores the exact apply order the engine's write lock serialised.
+
+Record framing (little-endian)::
+
+    u32 crc32(payload) | u32 payload_length | payload
+    payload = u64 lsn | u8 op | u32 shard | key bytes (dtype.itemsize)
+
+Each lane file starts with a header: ``b"RWAL"``, a format version, and
+the key dtype string.  A torn tail — the frame being written when the
+process died — fails its CRC (or runs out of bytes) and ends that
+lane's replay; anything framed *before* it is intact because appends
+never rewrite earlier bytes.
+
+Durability contract
+-------------------
+``append()`` buffers; a record is only *durable* once :meth:`WalWriter.commit`
+has returned, which flushes and ``fsync``\\ s every dirty lane (and, the
+first time a lane file is created, its directory).  Three sync modes:
+
+* ``"always"`` — the owner commits after every append: one fsync per
+  write, strongest guarantee, slowest.
+* ``"group"``  — appends accumulate and a later ``commit()`` makes the
+  whole group durable with one fsync (the serving layer batches
+  concurrent writers onto one commit; the engine path auto-commits
+  every ``group_ops`` appends as a backstop).
+* ``"async"``  — ``commit()`` flushes to the OS but never fsyncs; a
+  process crash loses nothing, a power loss may lose the tail.
+
+:attr:`WalWriter.durable_lsn` reports the highest LSN guaranteed to
+survive, which is what "acknowledged" means one layer up.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+#: Lane-file magic; a file not starting with it is not a WAL lane.
+WAL_MAGIC = b"RWAL"
+
+#: On-disk WAL format version; bump on incompatible framing changes.
+WAL_VERSION = 1
+
+#: Sync policies a :class:`WalWriter` can be opened with.
+WAL_SYNC_MODES = ("always", "group", "async")
+
+#: Record opcodes.
+OP_INSERT = 1
+OP_DELETE = 2
+
+_HEADER = struct.Struct("<4sHH")  # magic, version, dtype-string length
+_FRAME = struct.Struct("<II")  # crc32(payload), payload length
+_PAYLOAD_HEAD = struct.Struct("<QBI")  # lsn, op, shard
+
+_GEN_RE = re.compile(r"^g(\d{10})$")
+_LANE_RE = re.compile(r"^lane-(\d{4})\.wal$")
+
+
+class WalError(ValueError):
+    """A WAL file could not be written or read back.
+
+    Raised for unreadable lane headers, dtype mismatches between lanes,
+    or corruption *before* the tail (a bad frame followed by intact
+    frames means the file was damaged, not torn by a crash).
+    """
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged mutation: ``(lsn, op, shard, key)``.
+
+    ``op`` is :data:`OP_INSERT` or :data:`OP_DELETE`; ``shard`` is the
+    shard id the engine applied the write to at log time (used by
+    recovery to decide whether a checkpoint segment already contains the
+    effect); ``key`` is a numpy scalar in the index's key dtype.
+    """
+
+    lsn: int
+    op: int
+    shard: int
+    key: object
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def generation_dirname(generation: int) -> str:
+    """Directory name of WAL generation ``generation`` (``g<10 digits>``)."""
+    if generation < 0:
+        raise ValueError("WAL generation must be non-negative")
+    return f"g{generation:010d}"
+
+
+def list_generations(wal_root: Path) -> list[int]:
+    """Sorted generation numbers present under ``wal_root``."""
+    if not wal_root.is_dir():
+        return []
+    found = []
+    for child in wal_root.iterdir():
+        match = _GEN_RE.match(child.name)
+        if match and child.is_dir():
+            found.append(int(match.group(1)))
+    return sorted(found)
+
+
+class _Lane:
+    """One shard's append-only lane file (buffered, fsync on commit)."""
+
+    def __init__(self, path: Path, key_dtype: np.dtype) -> None:
+        self.path = path
+        created = not path.exists()
+        self._fh = open(path, "ab")
+        if created or self._fh.tell() == 0:
+            dtype_bytes = key_dtype.str.encode("ascii")
+            self._fh.write(
+                _HEADER.pack(WAL_MAGIC, WAL_VERSION, len(dtype_bytes))
+            )
+            self._fh.write(dtype_bytes)
+            self.newly_created = True
+        else:
+            self.newly_created = False
+        self.dirty = False
+
+    def append(self, frame: bytes) -> None:
+        self._fh.write(frame)
+        self.dirty = True
+
+    def flush(self, fsync: bool) -> None:
+        if not self.dirty:
+            return
+        self._fh.flush()
+        if fsync:
+            os.fsync(self._fh.fileno())
+        self.dirty = False
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class WalWriter:
+    """Appends CRC-framed mutation records to per-shard lane files.
+
+    One writer owns the log at a time (the engine's write lock already
+    serialises mutations; a small internal lock additionally makes
+    ``commit()`` safe to call from a different thread than ``append()``,
+    which is how the serving layer runs group fsyncs off the event
+    loop).  ``start_lsn`` seeds the LSN counter — recovery reopens the
+    log with ``max replayed LSN + 1`` so LSNs stay globally unique
+    across crashes.
+    """
+
+    def __init__(
+        self,
+        wal_root: str | Path,
+        key_dtype: np.dtype,
+        *,
+        generation: int = 1,
+        start_lsn: int = 1,
+        sync: str = "group",
+        group_ops: int = 256,
+    ) -> None:
+        if sync not in WAL_SYNC_MODES:
+            raise ValueError(
+                f"sync must be one of {WAL_SYNC_MODES}, got {sync!r}"
+            )
+        if group_ops < 1:
+            raise ValueError("group_ops must be >= 1")
+        self.wal_root = Path(wal_root)
+        self.key_dtype = np.dtype(key_dtype)
+        self.sync = sync
+        self.group_ops = group_ops
+        self._lock = threading.Lock()
+        self._lanes: dict[int, _Lane] = {}
+        self._next_lsn = int(start_lsn)
+        self._durable_lsn = int(start_lsn) - 1
+        self._flushed_lsn = self._durable_lsn  # visible to the OS
+        self._uncommitted = 0
+        self._closed = False
+        self._open_generation(int(generation))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """The generation new records append to (rotates per checkpoint)."""
+        return self._generation
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next appended record will carry."""
+        return self._next_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended record (0 before any)."""
+        return self._next_lsn - 1
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN guaranteed to survive a crash (post-``commit``).
+
+        Under ``sync="async"`` this tracks flushes (the strongest
+        statement that mode can make).
+        """
+        return self._durable_lsn
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, op: int, shard: int, key) -> int:
+        """Frame and buffer one record; returns its LSN.
+
+        Durable only after :meth:`commit` (which ``sync="always"`` runs
+        inline).  A ``sync="group"`` writer auto-commits every
+        ``group_ops`` appends as a backstop so an owner that forgets to
+        commit still bounds the window of loss.
+        """
+        if self._closed:
+            raise WalError("cannot append to a closed WAL writer")
+        key_scalar = self.key_dtype.type(key)
+        with self._lock:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            payload = _PAYLOAD_HEAD.pack(lsn, op, shard) + \
+                key_scalar.tobytes()
+            frame = _FRAME.pack(zlib.crc32(payload), len(payload)) + payload
+            lane = self._lanes.get(shard)
+            if lane is None:
+                lane = self._open_lane(shard)
+            lane.append(frame)
+            self._uncommitted += 1
+        if self.sync == "always" or (
+            self.sync == "group" and self._uncommitted >= self.group_ops
+        ):
+            self.commit()
+        return lsn
+
+    def commit(self) -> int:
+        """Make every appended record durable; returns the durable LSN.
+
+        Flushes all dirty lanes and — except under ``sync="async"`` —
+        ``fsync``\\ s them, plus the generation directory the first time
+        each lane file appears in it.  One fsync covers however many
+        appends accumulated: this *is* the group commit.
+        """
+        with self._lock:
+            if self._closed:
+                return self._durable_lsn
+            head = self._next_lsn - 1
+            fsync = self.sync != "async"
+            synced_new = False
+            for lane in self._lanes.values():
+                if lane.newly_created:
+                    synced_new = True
+                    lane.newly_created = False
+                lane.flush(fsync=fsync)
+            if synced_new and fsync:
+                _fsync_dir(self._gen_dir)
+            self._flushed_lsn = head
+            self._durable_lsn = head
+            self._uncommitted = 0
+            return self._durable_lsn
+
+    def rotate(self, generation: int) -> None:
+        """Close the current generation and append to a new one.
+
+        Called at the start of a checkpoint pass: records before the
+        rotation land in generations the pass will supersede, records
+        after it in the generation the new manifest references.
+        """
+        self.commit()
+        with self._lock:
+            if generation <= self._generation:
+                raise WalError(
+                    f"cannot rotate backwards (at generation "
+                    f"{self._generation}, asked for {generation})"
+                )
+            for lane in self._lanes.values():
+                lane.close()
+            self._lanes = {}
+            self._open_generation(generation)
+
+    def drop_generations_below(self, generation: int) -> int:
+        """Delete whole generations older than ``generation``; returns count.
+
+        Safe once a manifest of generation ``generation`` is published:
+        every record in an older generation predates all of that
+        manifest's per-shard flush LSNs.
+        """
+        dropped = 0
+        for gen in list_generations(self.wal_root):
+            if gen < generation:
+                shutil.rmtree(
+                    self.wal_root / generation_dirname(gen),
+                    ignore_errors=True,
+                )
+                dropped += 1
+        if dropped:
+            _fsync_dir(self.wal_root)
+        return dropped
+
+    def close(self) -> None:
+        """Commit outstanding records and release every lane handle."""
+        if self._closed:
+            return
+        self.commit()
+        with self._lock:
+            self._closed = True
+            for lane in self._lanes.values():
+                lane.close()
+            self._lanes = {}
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _open_generation(self, generation: int) -> None:
+        self._generation = generation
+        self._gen_dir = self.wal_root / generation_dirname(generation)
+        self._gen_dir.mkdir(parents=True, exist_ok=True)
+        _fsync_dir(self.wal_root)
+
+    def _open_lane(self, shard: int) -> _Lane:
+        if shard < 0:
+            raise WalError(f"invalid shard id {shard} in WAL append")
+        lane = _Lane(self._gen_dir / f"lane-{shard:04d}.wal",
+                     self.key_dtype)
+        self._lanes[shard] = lane
+        return lane
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+def read_lane(path: str | Path) -> tuple[list[WalRecord], bool]:
+    """Decode one lane file: ``(records, torn)``.
+
+    Reads frames until the file ends cleanly or a frame fails (short
+    header, short payload, CRC mismatch).  A failing *final* frame is a
+    torn tail — the crash the WAL exists to survive — and simply ends
+    the lane (``torn=True``).  A failing frame with intact frames after
+    it means mid-file damage and raises :class:`WalError`: replaying
+    past silent corruption would resurrect an inconsistent history.
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    if len(blob) < _HEADER.size:
+        # a crash during the lane's very first append can leave a
+        # truncated (or empty) header: a torn, record-less lane, not
+        # corruption
+        return [], True
+    magic, version, dtype_len = _HEADER.unpack_from(blob, 0)
+    if magic != WAL_MAGIC:
+        raise WalError(f"{path} is not a WAL lane (bad magic)")
+    if version > WAL_VERSION or version < 1:
+        raise WalError(
+            f"{path} uses WAL format version {version}; this library "
+            f"reads versions 1..{WAL_VERSION}"
+        )
+    offset = _HEADER.size
+    if offset + dtype_len > len(blob):
+        return [], True  # header torn mid-dtype-string
+    try:
+        key_dtype = np.dtype(blob[offset:offset + dtype_len].decode("ascii"))
+    except (TypeError, UnicodeDecodeError) as exc:
+        raise WalError(f"{path} has an unreadable key dtype: {exc}") from exc
+    offset += dtype_len
+    expected_payload = _PAYLOAD_HEAD.size + key_dtype.itemsize
+
+    records: list[WalRecord] = []
+    torn = False
+    while offset < len(blob):
+        frame_end = offset + _FRAME.size
+        if frame_end > len(blob):
+            torn = True
+            break
+        crc, length = _FRAME.unpack_from(blob, offset)
+        payload = blob[frame_end:frame_end + length]
+        if (
+            length != expected_payload
+            or len(payload) != length
+            or zlib.crc32(payload) != crc
+        ):
+            torn = True
+            break
+        lsn, op, shard = _PAYLOAD_HEAD.unpack_from(payload, 0)
+        key = np.frombuffer(
+            payload, dtype=key_dtype, count=1, offset=_PAYLOAD_HEAD.size
+        )[0]
+        records.append(WalRecord(lsn, op, shard, key))
+        offset = frame_end + length
+    if torn and _has_intact_frame_after(blob, offset, expected_payload):
+        raise WalError(
+            f"{path} is corrupted mid-file (bad frame followed by an "
+            "intact one) — refusing to replay past silent damage"
+        )
+    return records, torn
+
+
+def _has_intact_frame_after(blob: bytes, offset: int,
+                            expected_payload: int) -> bool:
+    """Scan past a bad frame for any later frame that still checks out."""
+    probe = offset + 1
+    frame_size = _FRAME.size + expected_payload
+    while probe + frame_size <= len(blob):
+        crc, length = _FRAME.unpack_from(blob, probe)
+        if length == expected_payload:
+            payload = blob[probe + _FRAME.size:probe + frame_size]
+            if zlib.crc32(payload) == crc:
+                return True
+        probe += 1
+    return False
+
+
+def read_generation(gen_dir: str | Path) -> tuple[list[WalRecord], bool]:
+    """All records of one generation, merged by LSN: ``(records, torn)``."""
+    gen_dir = Path(gen_dir)
+    records: list[WalRecord] = []
+    torn = False
+    for lane_path in sorted(gen_dir.iterdir()):
+        if not _LANE_RE.match(lane_path.name):
+            continue
+        lane_records, lane_torn = read_lane(lane_path)
+        records.extend(lane_records)
+        torn = torn or lane_torn
+    records.sort(key=lambda r: r.lsn)
+    return records, torn
+
+
+def read_wal(wal_root: str | Path, min_generation: int = 0,
+             ) -> tuple[list[WalRecord], bool]:
+    """Merge every generation ``>= min_generation`` into one LSN-ordered
+    record list: ``(records, torn)``.
+
+    ``torn`` reports whether any lane ended in a torn tail — expected
+    after a crash, interesting for diagnostics either way.
+    """
+    wal_root = Path(wal_root)
+    records: list[WalRecord] = []
+    torn = False
+    for gen in list_generations(wal_root):
+        if gen < min_generation:
+            continue
+        gen_records, gen_torn = read_generation(
+            wal_root / generation_dirname(gen)
+        )
+        records.extend(gen_records)
+        torn = torn or gen_torn
+    records.sort(key=lambda r: r.lsn)
+    return records, torn
+
+
+__all__ = [
+    "OP_DELETE",
+    "OP_INSERT",
+    "WAL_MAGIC",
+    "WAL_SYNC_MODES",
+    "WAL_VERSION",
+    "WalError",
+    "WalRecord",
+    "WalWriter",
+    "generation_dirname",
+    "list_generations",
+    "read_generation",
+    "read_lane",
+    "read_wal",
+]

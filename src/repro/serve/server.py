@@ -59,11 +59,19 @@ class IndexServer:
         max_inflight: int = 8192,
         stats: ServerStats | None = None,
         retune_interval: float | None = None,
+        durability=None,
+        checkpoint_interval: float | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if retune_interval is not None and retune_interval <= 0:
             raise ValueError("retune_interval must be positive seconds")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive seconds")
+        if checkpoint_interval is not None and durability is None:
+            raise ValueError(
+                "checkpoint_interval needs a durability manager to drive"
+            )
         self.executor = BatchExecutor(index, workers=workers)
         self.index = self.executor.index
         self.stats = stats if stats is not None else ServerStats()
@@ -81,6 +89,23 @@ class IndexServer:
         self._retune_task: asyncio.Task | None = None
         #: the exception that stopped the background retune timer, if any
         self.retune_error: Exception | None = None
+        #: the :class:`~repro.engine.durability.DurabilityManager` whose
+        #: index this server fronts (None: writes are memory-only).  The
+        #: manager must already be attached to ``index``; the server
+        #: adds acknowledgment (awaited writes are durable writes) and
+        #: scheduling (``checkpoint_interval``) on top.
+        self.durability = durability
+        #: seconds between background incremental checkpoints (None: the
+        #: caller checkpoints explicitly); same lazy-start/cancel
+        #: lifecycle as ``retune_interval``.
+        self.checkpoint_interval = checkpoint_interval
+        self._checkpoint_task: asyncio.Task | None = None
+        #: the exception that stopped the checkpoint timer, if any
+        self.checkpoint_error: Exception | None = None
+        # the in-flight leader group commit concurrent writers piggyback
+        # on — one fsync (off-loop) acknowledges every write that
+        # appended before it ran
+        self._commit_task: asyncio.Task | None = None
         self._write_epoch = 0
         # backpressure slots: a plain counter (sync fast path — no
         # coroutine allocation per request) plus a FIFO of waiter
@@ -95,7 +120,7 @@ class IndexServer:
     # ------------------------------------------------------------------
     async def lookup(self, q) -> int:
         """Global lower-bound position of ``q`` (cache, then micro-batch)."""
-        self._maybe_start_background_retune()
+        self._maybe_start_background_timers()
         self.stats.request_started()
         try:
             cached = self.cache.get_point(q)
@@ -126,7 +151,7 @@ class IndexServer:
         exact.  Use :meth:`range_positions` for the raw bounds and
         :meth:`range_keys` for the materialised keys.
         """
-        self._maybe_start_background_retune()
+        self._maybe_start_background_timers()
         self.stats.request_started()
         try:
             cached = self.cache.get_range(lo, hi)
@@ -151,7 +176,7 @@ class IndexServer:
 
     async def range_positions(self, lo, hi) -> tuple[int, int]:
         """``[first, last)`` global positions of a range (uncached)."""
-        self._maybe_start_background_retune()
+        self._maybe_start_background_timers()
         self.stats.request_started()
         try:
             if self._slots > 0:
@@ -180,7 +205,7 @@ class IndexServer:
         the rare raced request retries, falling back to a synchronous
         in-loop scan under sustained write pressure.
         """
-        self._maybe_start_background_retune()
+        self._maybe_start_background_timers()
         self.stats.request_started()
         try:
             for _ in range(4):
@@ -210,16 +235,29 @@ class IndexServer:
     # writes
     # ------------------------------------------------------------------
     async def insert(self, key) -> int:
-        """Insert ``key``; pending reads flush first (write barrier)."""
-        self._maybe_start_background_retune()
+        """Insert ``key``; pending reads flush first (write barrier).
+
+        With a durability manager attached, the await also covers the
+        WAL acknowledgment: under ``sync="group"`` concurrent writers
+        ride one leader fsync (see :meth:`_ensure_durable`), so by the
+        time this returns the write survives a crash.
+        """
+        self._maybe_start_background_timers()
         await self.batcher.drain()
-        return self.index.insert(key)
+        shard = self.index.insert(key)
+        await self._ensure_durable()
+        return shard
 
     async def delete(self, key) -> int:
-        """Delete one occurrence of ``key``; pending reads flush first."""
-        self._maybe_start_background_retune()
+        """Delete one occurrence of ``key``; pending reads flush first.
+
+        Durable on return under the same contract as :meth:`insert`.
+        """
+        self._maybe_start_background_timers()
         await self.batcher.drain()
-        return self.index.delete(key)
+        shard = self.index.delete(key)
+        await self._ensure_durable()
+        return shard
 
     async def refresh(self) -> None:
         """Fold buffered updates into every shard (no cache impact)."""
@@ -243,20 +281,89 @@ class IndexServer:
         self.stats.retunes += 1
         return actions
 
+    async def checkpoint(self) -> dict:
+        """Run one incremental checkpoint without stalling the loop.
+
+        The per-shard flush (the slow, fsync-heavy part) runs in a
+        worker thread — safe because every engine mutation it performs
+        happens under the engine write lock the in-loop write path also
+        takes, and reads never see structure move (maintenance is
+        deferred for the duration).  The structural catch-up
+        (:meth:`ShardedIndex.resume_maintenance`) then runs *on* the
+        loop behind a drain, ordered with the lock-free readers like
+        any other write.  Returns the published manifest.
+        """
+        mgr = self.durability
+        if mgr is None:
+            raise ValueError("this server has no durability manager")
+        loop = asyncio.get_running_loop()
+        # a failing pass resumes maintenance itself before raising, so
+        # no structural work is left pending on the error path
+        manifest = await loop.run_in_executor(
+            None, lambda: mgr.checkpoint(resume=False)
+        )
+        await self.batcher.drain()
+        self.index.resume_maintenance()
+        self.stats.checkpoints += 1
+        return manifest
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    async def _ensure_durable(self) -> None:
+        """Await the WAL acknowledgment for the write just applied.
+
+        ``sync="always"`` already fsynced inside the write call and
+        ``sync="async"`` promises nothing, so only ``"group"`` waits:
+        the first writer to arrive becomes the *leader* and runs one
+        ``commit()`` in a worker thread; writers landing meanwhile
+        await the same task — their records were appended before the
+        fsync, so the leader's commit acknowledges them too.  This is
+        the group in group commit: N concurrent writers, one fsync.
+        """
+        mgr = self.durability
+        if mgr is None or mgr.sync != "group":
+            return
+        lsn = mgr.last_lsn
+        while mgr.durable_lsn < lsn:
+            if self._commit_task is None:
+                self._commit_task = asyncio.get_running_loop().create_task(
+                    self._group_commit()
+                )
+            await asyncio.shield(self._commit_task)
+
+    async def _group_commit(self) -> None:
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.durability.commit
+            )
+            self.stats.group_commits += 1
+        finally:
+            self._commit_task = None
+
     # ------------------------------------------------------------------
     # background maintenance
     # ------------------------------------------------------------------
-    def _maybe_start_background_retune(self) -> None:
-        """Start the retune timer once a loop exists (lazy, idempotent)."""
-        if (
-            self.retune_interval is None
-            or self._retune_task is not None
-            or self._closed
-        ):
+    def _maybe_start_background_timers(self) -> None:
+        """Start the maintenance timers once a loop exists (lazy, idempotent).
+
+        Construction happens outside any event loop, so the retune and
+        checkpoint timers both start on the first served request and
+        are cancelled and awaited by :meth:`close`.
+        """
+        if self._closed:
             return
-        self._retune_task = asyncio.get_running_loop().create_task(
-            self._retune_loop()
-        )
+        if self.retune_interval is not None and self._retune_task is None:
+            self._retune_task = asyncio.get_running_loop().create_task(
+                self._retune_loop()
+            )
+        if (
+            self.checkpoint_interval is not None
+            and self._checkpoint_task is None
+        ):
+            self._checkpoint_task = asyncio.get_running_loop().create_task(
+                self._checkpoint_loop()
+            )
 
     async def _retune_loop(self) -> None:
         """The scheduled maintenance pass: sleep, retune, repeat.
@@ -283,6 +390,33 @@ class IndexServer:
                 self.stats.background_retune_errors += 1
                 return
             self.stats.background_retunes += 1
+
+    async def _checkpoint_loop(self) -> None:
+        """The scheduled durability pass: sleep, checkpoint, repeat.
+
+        Mirrors :meth:`_retune_loop`: each pass runs the same
+        incremental flush an explicit :meth:`checkpoint` call does and
+        is counted in ``stats.background_checkpoints``; a failing pass
+        stops the timer and is surfaced as ``checkpoint_error`` (and
+        ``stats.background_checkpoint_errors``) rather than taking the
+        serving path down.  An index drained to empty simply skips the
+        pass — the WAL alone keeps it recoverable.
+        """
+        while not self._closed:
+            await asyncio.sleep(self.checkpoint_interval)
+            if self._closed:
+                return
+            if len(self.index) == 0:
+                continue
+            try:
+                await self.checkpoint()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self.checkpoint_error = exc
+                self.stats.background_checkpoint_errors += 1
+                return
+            self.stats.background_checkpoints += 1
 
     def _on_write(self, event: WriteEvent) -> None:
         if event.kind in ("refresh", "retune"):
@@ -335,14 +469,27 @@ class IndexServer:
         if self._closed:
             return
         self._closed = True
-        task, self._retune_task = self._retune_task, None
-        if task is not None:
-            task.cancel()
+        timers = [self._retune_task, self._checkpoint_task]
+        self._retune_task = self._checkpoint_task = None
+        for task in timers:
+            if task is not None:
+                task.cancel()
+        live = [t for t in timers if t is not None]
+        if live:
             # gather with return_exceptions: a timer that already died
-            # (its failure is recorded in retune_error) must not abort
-            # the rest of the shutdown sequence below
-            await asyncio.gather(task, return_exceptions=True)
+            # (its failure is recorded in retune_error /
+            # checkpoint_error) must not abort the shutdown below
+            await asyncio.gather(*live, return_exceptions=True)
+        commit = self._commit_task
+        if commit is not None:
+            # let an in-flight group commit acknowledge its writers
+            await asyncio.gather(commit, return_exceptions=True)
         await self.batcher.drain()
+        if self.durability is not None:
+            # final group fsync: every applied write is durable on close
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.durability.commit
+            )
         self.index.remove_write_listener(self._on_write)
         self.executor.close()
 

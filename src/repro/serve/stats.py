@@ -32,6 +32,10 @@ class ServerStats:
         self.retunes = 0
         self.background_retunes = 0
         self.background_retune_errors = 0
+        self.group_commits = 0
+        self.checkpoints = 0
+        self.background_checkpoints = 0
+        self.background_checkpoint_errors = 0
 
     # ------------------------------------------------------------------
     # hot-path feeds
@@ -120,6 +124,10 @@ class ServerStats:
             "retunes": self.retunes,
             "background_retunes": self.background_retunes,
             "background_retune_errors": self.background_retune_errors,
+            "group_commits": self.group_commits,
+            "checkpoints": self.checkpoints,
+            "background_checkpoints": self.background_checkpoints,
+            "background_checkpoint_errors": self.background_checkpoint_errors,
         }
 
     def describe(self) -> str:  # pragma: no cover - formatting aid

@@ -11,6 +11,8 @@ message instead of answering queries wrongly.
 from __future__ import annotations
 
 import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -265,3 +267,91 @@ def test_custom_model_callable_is_rejected_at_save(tmp_path):
     )
     with pytest.raises(IndexPersistError, match="custom model"):
         save_index(index, tmp_path / "nope.npz")
+
+
+# ----------------------------------------------------------------------
+# crash-safety regressions (ISSUE 6 satellites)
+# ----------------------------------------------------------------------
+def test_load_index_leaves_no_open_handle(tmp_path):
+    """``_read_verified`` must context-manage the npz archive: a leaked
+    handle keeps the file's bytes pinned and, on some platforms, blocks
+    the atomic-rename overwrite of the next save."""
+    path = tmp_path / "handle.npz"
+    index = make_index(np.arange(500, dtype=np.uint64) * 3, "gapped")
+    save_index(index, path)
+
+    def fds_on(path):
+        fd_dir = Path("/proc/self/fd")
+        if not fd_dir.is_dir():  # non-Linux: skip the direct check
+            pytest.skip("requires /proc/self/fd")
+        target = str(path.resolve())
+        hits = []
+        for entry in fd_dir.iterdir():
+            try:
+                if os.readlink(entry) == target:
+                    hits.append(entry.name)
+            except OSError:
+                continue
+        return hits
+
+    loaded, _ = load_index(path)
+    assert fds_on(path) == []  # closed before load_index returned
+    del loaded
+    # and the archive can be atomically replaced straight away
+    save_index(index, path)
+
+
+def test_failed_save_keeps_old_archive_and_cleans_tmp(tmp_path, monkeypatch):
+    """A save that dies mid-serialisation must leave the previous
+    archive untouched and no temp debris behind."""
+    path = tmp_path / "crash.npz"
+    index = make_index(np.arange(500, dtype=np.uint64) * 3, "gapped")
+    save_index(index, path)
+    before = path.read_bytes()
+
+    def boom(*args, **kwargs):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(np, "savez", boom)
+    with pytest.raises(OSError, match="disk on fire"):
+        save_index(index, path)
+    monkeypatch.undo()
+
+    assert path.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["crash.npz"]
+    loaded, _ = load_index(path)
+    assert len(loaded) == len(index)
+
+
+def test_concurrent_saves_use_unique_tmp_files(tmp_path, monkeypatch):
+    """Two writers saving to the same path must not share a predictable
+    ``path + ".tmp"`` scratch file (the pre-fix behaviour): each gets a
+    private mkstemp name and the last rename wins with an intact file."""
+    import tempfile
+    import threading
+
+    path = tmp_path / "race.npz"
+    seen = []
+    real_mkstemp = tempfile.mkstemp
+
+    def recording_mkstemp(*args, **kwargs):
+        fd, name = real_mkstemp(*args, **kwargs)
+        seen.append(name)
+        return fd, name
+
+    monkeypatch.setattr(tempfile, "mkstemp", recording_mkstemp)
+    a = make_index(np.arange(400, dtype=np.uint64) * 5, "gapped")
+    b = make_index(np.arange(600, dtype=np.uint64) * 7, "static")
+    threads = [threading.Thread(target=save_index, args=(ix, path))
+               for ix in (a, b)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(seen) == 2 and len(set(seen)) == 2
+    assert str(path) not in seen  # never the destination itself
+    assert all(name != str(path) + ".tmp" for name in seen)
+    loaded, _ = load_index(path)  # whichever writer won, it is intact
+    assert len(loaded) in (len(a), len(b))
+    assert [p.name for p in tmp_path.iterdir()] == ["race.npz"]
