@@ -1,0 +1,46 @@
+"""Project-specific static analysis and runtime sanitizers.
+
+``python -m repro lint`` runs the AST-based linter whose rules encode
+this codebase's real contracts — dtype exactness in the rank pipeline
+(RPR1xx), engine write-lock discipline (RPR2xx), fsync/rename
+durability (RPR3xx) and event-loop safety (RPR4xx) — and
+``REPRO_SANITIZE=1`` turns on the runtime half of the same contracts
+during tests.  See ``docs/ARCHITECTURE.md`` ("Static analysis &
+sanitizers") for every rule code and the PR that motivated it.
+"""
+
+from .framework import (
+    Finding,
+    LintReport,
+    Suppression,
+    all_rules,
+    format_suppression,
+    lint_paths,
+    lint_source,
+    parse_suppression,
+    parse_suppressions,
+)
+from .sanitizers import (
+    DurabilitySanitizer,
+    LockSanitizer,
+    SanitizerError,
+    install_global,
+    sanitizers_enabled,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Suppression",
+    "all_rules",
+    "format_suppression",
+    "lint_paths",
+    "lint_source",
+    "parse_suppression",
+    "parse_suppressions",
+    "DurabilitySanitizer",
+    "LockSanitizer",
+    "SanitizerError",
+    "install_global",
+    "sanitizers_enabled",
+]

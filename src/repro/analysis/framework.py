@@ -1,0 +1,367 @@
+"""Core machinery of the project linter: rules, suppressions, reports.
+
+The linter is AST-based: each :class:`Rule` walks one parsed module and
+yields :class:`Finding` records with a stable ``RPRxxx`` code.  Findings
+can be suppressed per line with ``# repro: noqa[RPR101] — reason``; the
+reason string is mandatory (a bare suppression is itself a finding,
+``RPR002``) and a suppression that silences nothing is flagged as
+``RPR003`` so stale annotations cannot accumulate.
+
+Rule code families (see ``docs/ARCHITECTURE.md`` for the contracts):
+
+- ``RPR0xx`` meta: syntax errors, malformed/unused suppressions
+- ``RPR1xx`` dtype safety in the predict→correct→search path
+- ``RPR2xx`` engine write-lock discipline
+- ``RPR3xx`` durability (fsync/rename) discipline
+- ``RPR4xx`` async safety in the serving layer
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "Rule",
+    "ModuleContext",
+    "LintReport",
+    "register",
+    "all_rules",
+    "parse_suppression",
+    "parse_suppressions",
+    "format_suppression",
+    "lint_source",
+    "lint_paths",
+]
+
+#: JSON output schema version (bump only on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One linter hit: a rule code anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    rule_name: str = ""
+
+    def to_dict(self) -> dict:
+        """Stable JSON form (field order matches the documented schema)."""
+        return {
+            "code": self.code,
+            "rule": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human form: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+#: ``# repro: noqa[RPR101,RPR202] — reason text``.  The separator before
+#: the reason may be an em/en dash, ``--``, ``-`` or ``:``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[^\]]*)\]"
+    r"(?:\s*(?:—|–|--|-|:)\s*(?P<reason>.*))?\s*$"
+)
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed per-line ``noqa`` annotation."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    valid: bool = True
+
+
+def format_suppression(codes, reason: str) -> str:
+    """Render a suppression comment that :func:`parse_suppression` accepts."""
+    # built in two pieces so this source line does not itself parse as
+    # a suppression comment when the linter lints its own package
+    return "# repro: " + f"noqa[{','.join(codes)}] — {reason}"
+
+
+def parse_suppression(text: str, line: int = 0) -> Suppression | None:
+    """Parse one physical source line; ``None`` when it has no noqa."""
+    m = _NOQA_RE.search(text)
+    if m is None:
+        return None
+    raw_codes = [c.strip() for c in m.group("codes").split(",") if c.strip()]
+    reason = (m.group("reason") or "").strip()
+    valid = bool(raw_codes) and all(_CODE_RE.match(c) for c in raw_codes)
+    return Suppression(line=line, codes=tuple(raw_codes), reason=reason,
+                       valid=valid)
+
+
+def parse_suppressions(lines) -> dict[int, Suppression]:
+    """All suppressions in a module, keyed by 1-based line number."""
+    out: dict[int, Suppression] = {}
+    for i, text in enumerate(lines, start=1):
+        if "noqa" not in text:
+            continue
+        sup = parse_suppression(text, line=i)
+        if sup is not None:
+            out[i] = sup
+    return out
+
+
+# ----------------------------------------------------------------------
+# module context shared by all rules
+# ----------------------------------------------------------------------
+@dataclass
+class ModuleContext:
+    """One parsed module plus the import-alias maps rules care about."""
+
+    path: Path
+    relparts: tuple[str, ...]
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    numpy_aliases: set[str] = field(default_factory=set)
+    numpy_names: dict[str, str] = field(default_factory=dict)
+    module_aliases: dict[str, set[str]] = field(default_factory=dict)
+    #: local name -> (module, original name) for ``from X import Y [as Z]``
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, source: str, path: Path, tree: ast.Module) -> ModuleContext:
+        """Parse imports so rules can resolve ``np``/``os``/``time`` aliases."""
+        ctx = cls(path=path, relparts=tuple(path.resolve().parts),
+                  source=source, lines=source.splitlines(), tree=tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    ctx.module_aliases.setdefault(alias.name, set()).add(local)
+                    if alias.name == "numpy":
+                        ctx.numpy_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    ctx.from_imports[local] = (node.module, alias.name)
+                    if node.module == "numpy":
+                        ctx.numpy_names[local] = alias.name
+        return ctx
+
+    def aliases_of(self, module: str) -> set[str]:
+        """Local names bound to ``module`` (``{"np"}`` for numpy, usually)."""
+        found = set(self.module_aliases.get(module, ()))
+        if module == "numpy":
+            found |= self.numpy_aliases
+        return found
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: subclass, set the class attributes, implement ``check``.
+
+    ``scope_dirs``/``scope_files`` restrict where the rule runs: a module
+    is in scope when any path component matches a scope dir, or its
+    basename matches a scope file.  Empty scope means every module.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    scope_dirs: tuple[str, ...] = ()
+    scope_files: tuple[str, ...] = ()
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Whether this module is inside the rule's path scope."""
+        if not self.scope_dirs and not self.scope_files:
+            return True
+        return (any(d in ctx.relparts for d in self.scope_dirs)
+                or ctx.path.name in self.scope_files)
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        """Return raw findings for one module (before suppressions)."""
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        """Convenience constructor anchored at ``node``'s location."""
+        return Finding(path=str(ctx.path), line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0), code=self.code,
+                       message=message, rule_name=self.name)
+
+
+_REGISTRY: dict[str, Rule] = {}
+_LOADED = False
+
+
+def register(rule_cls):
+    """Class decorator: instantiate and index the rule by its code."""
+    rule = rule_cls()
+    if not _CODE_RE.match(rule.code):
+        raise ValueError(f"bad rule code {rule.code!r} on {rule_cls.__name__}")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Code → rule instance for every registered rule (loads rule modules)."""
+    global _LOADED
+    if not _LOADED:
+        # imported for their @register side effects
+        from . import rules_async  # noqa: F401
+        from . import rules_dtype  # noqa: F401
+        from . import rules_durability  # noqa: F401
+        from . import rules_lock  # noqa: F401
+        _LOADED = True
+    return dict(_REGISTRY)
+
+
+#: Meta rule codes are produced by the engine itself, not by a visitor.
+META_CODES = {
+    "RPR001": "syntax-error",
+    "RPR002": "noqa-missing-reason",
+    "RPR003": "unused-noqa",
+}
+
+
+def _selected(code: str, select, ignore) -> bool:
+    """Prefix-match selection: ``--select RPR1 --ignore RPR103`` etc."""
+    if select is not None and not any(code.startswith(p) for p in select):
+        return False
+    if ignore is not None and any(code.startswith(p) for p in ignore):
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# lint engine
+# ----------------------------------------------------------------------
+def lint_source(source: str, path, select=None, ignore=None) -> list[Finding]:
+    """Lint one module's source text; returns sorted, suppression-applied
+    findings (including meta findings about the suppressions themselves)."""
+    path = Path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        if not _selected("RPR001", select, ignore):
+            return []
+        return [Finding(path=str(path), line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, code="RPR001",
+                        message=f"syntax error: {exc.msg}",
+                        rule_name=META_CODES["RPR001"])]
+
+    ctx = ModuleContext.build(source, path, tree)
+    raw: list[Finding] = []
+    active_codes: set[str] = set()
+    for code, rule in sorted(all_rules().items()):
+        if not _selected(code, select, ignore):
+            continue
+        if not rule.applies(ctx):
+            continue
+        active_codes.add(code)
+        raw.extend(rule.check(ctx))
+
+    suppressions = parse_suppressions(ctx.lines)
+    used: dict[int, set[str]] = {}
+    findings: list[Finding] = []
+    for f in raw:
+        sup = suppressions.get(f.line)
+        if sup is not None and sup.valid and sup.reason and f.code in sup.codes:
+            used.setdefault(f.line, set()).add(f.code)
+            continue
+        findings.append(f)
+
+    for line, sup in sorted(suppressions.items()):
+        col = ctx.lines[line - 1].find("#")
+        if not sup.valid or not sup.reason:
+            if _selected("RPR002", select, ignore):
+                what = ("a reason string" if sup.valid
+                        else "a valid RPRxxx code list")
+                findings.append(Finding(
+                    path=str(path), line=line, col=max(col, 0), code="RPR002",
+                    message=f"suppression is missing {what}: write "
+                            f"'# repro: noqa[RPR101] — why it is safe'",
+                    rule_name=META_CODES["RPR002"]))
+            continue
+        unused = [c for c in sup.codes
+                  if c in active_codes and c not in used.get(line, set())]
+        if unused and _selected("RPR003", select, ignore):
+            findings.append(Finding(
+                path=str(path), line=line, col=max(col, 0), code="RPR003",
+                message="suppression does not match any finding on this "
+                        f"line: {', '.join(unused)}",
+                rule_name=META_CODES["RPR003"]))
+    return sorted(findings)
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of linting a set of paths."""
+
+    files_scanned: int
+    findings: list[Finding]
+
+    @property
+    def clean(self) -> bool:
+        """True when no finding survived suppression."""
+        return not self.findings
+
+    def statistics(self) -> dict[str, int]:
+        """Findings per rule code, sorted by code."""
+        stats: dict[str, int] = {}
+        for f in self.findings:
+            stats[f.code] = stats.get(f.code, 0) + 1
+        return dict(sorted(stats.items()))
+
+    def to_json(self) -> str:
+        """Stable JSON document (schema v1, see ``docs/ARCHITECTURE.md``)."""
+        return json.dumps({
+            "version": JSON_SCHEMA_VERSION,
+            "files_scanned": self.files_scanned,
+            "clean": self.clean,
+            "findings": [f.to_dict() for f in self.findings],
+            "statistics": self.statistics(),
+        }, indent=2, sort_keys=False)
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for f in p.rglob("*.py"):
+                if "__pycache__" not in f.parts:
+                    out.add(f)
+        elif p.is_file() and p.suffix == ".py":
+            out.add(p)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return sorted(out)
+
+
+def lint_paths(paths, select=None, ignore=None) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and aggregate the findings."""
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_source(f.read_text(encoding="utf-8"), f,
+                                    select=select, ignore=ignore))
+    return LintReport(files_scanned=len(files), findings=sorted(findings))

@@ -1,0 +1,231 @@
+"""RPR1xx — dtype safety in the predict→correct→search path.
+
+Shift-Table's correctness argument (§3 of the paper) assumes rank
+arithmetic is exact in the key dtype.  One stray ``np.asarray`` without
+a dtype on a mixed query list silently infers float64 and corrupts any
+uint64 key above 2**53 (PR 1/PR 3 both fixed instances of this), so the
+rules here flag the three ways the upcast sneaks in:
+
+- ``RPR101``: ``np.array``/``np.asarray`` on query input without an
+  explicit dtype, outside the designated normalisation helpers
+- ``RPR102``: true division on key/rank arrays (promotes to float64;
+  use ``//`` or cast through the correction layer)
+- ``RPR103``: ``astype`` to a float dtype on key-like arrays without an
+  explicit ``casting=`` policy
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import ModuleContext, Rule, register
+
+#: Functions that ARE the sanctioned query normalisation layer: calling
+#: one of these in the same function body proves the raw conversion is
+#: followed by exact dtype handling.
+NORMALIZER_CALLS = frozenset({
+    "normalize_query_dtype",
+    "coerce_query_array",
+    "route_batch",
+    "_query_array",
+})
+
+#: Functions whose whole body is exempt — they implement normalisation.
+NORMALIZER_DEFS = frozenset({
+    "normalize_query_dtype",
+    "coerce_query_array",
+})
+
+_QUERY_EXACT = frozenset({"q", "qs", "probes", "lo", "hi", "lows", "highs"})
+_KEY_EXACT = frozenset({
+    "key", "keys", "q", "query", "queries",
+    "rank", "ranks", "position", "positions",
+})
+_KEY_SUFFIXES = ("_key", "_keys", "_rank", "_ranks",
+                 "_position", "_positions", "_query", "_queries")
+_COUNT_PREFIXES = ("num_", "n_", "count", "len_", "total_")
+
+
+def is_queryish(name: str) -> bool:
+    """Identifier that plausibly carries raw client query values."""
+    return name in _QUERY_EXACT or "quer" in name
+
+
+def is_keyish(name: str) -> bool:
+    """Identifier that plausibly carries key/rank arrays (not counts)."""
+    if name.startswith(_COUNT_PREFIXES):
+        return False
+    return name in _KEY_EXACT or name.endswith(_KEY_SUFFIXES)
+
+
+def names_in(node: ast.AST):
+    """Every identifier mentioned in an expression (Names and attrs)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def innermost_receiver(node: ast.AST) -> str | None:
+    """The variable name a method call is ultimately invoked on."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Subscript):
+            node = node.value
+            continue
+        return None
+
+
+def _calls_normalizer(func_node: ast.AST) -> bool:
+    for sub in ast.walk(func_node):
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            name = (callee.attr if isinstance(callee, ast.Attribute)
+                    else callee.id if isinstance(callee, ast.Name) else None)
+            if name in NORMALIZER_CALLS:
+                return True
+    return False
+
+
+def _numpy_converter(ctx: ModuleContext, call: ast.Call) -> str | None:
+    """``"array"``/``"asarray"`` when the call is a numpy conversion."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in ctx.numpy_aliases and func.attr in (
+                "array", "asarray", "asanyarray"):
+            return func.attr
+    elif isinstance(func, ast.Name):
+        target = ctx.numpy_names.get(func.id)
+        if target in ("array", "asarray", "asanyarray"):
+            return target
+    return None
+
+
+def _has_dtype(call: ast.Call) -> bool:
+    if any(kw.arg == "dtype" for kw in call.keywords):
+        return True
+    # np.array(obj, dtype) / np.asarray(obj, dtype) positional form
+    return len(call.args) >= 2
+
+
+_DTYPE_SCOPE = ("core", "models", "search", "engine", "serve")
+
+
+@register
+class UntypedQueryConversion(Rule):
+    """``np.asarray(queries)`` without a dtype outside the normalisers."""
+
+    code = "RPR101"
+    name = "untyped-query-conversion"
+    summary = ("np.array/np.asarray on query input without an explicit "
+               "dtype can infer float64 and corrupt keys above 2**53")
+    scope_dirs = _DTYPE_SCOPE
+    scope_files = ("api.py",)
+
+    def check(self, ctx: ModuleContext) -> list:
+        findings = []
+        exempt_cache: dict[ast.AST, bool] = {}
+
+        def exempt(fn) -> bool:
+            if fn not in exempt_cache:
+                exempt_cache[fn] = (fn.name in NORMALIZER_DEFS
+                                    or _calls_normalizer(fn))
+            return exempt_cache[fn]
+
+        def visit(node, stack) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack = stack + [node]
+            if isinstance(node, ast.Call):
+                conv = _numpy_converter(ctx, node)
+                if (conv is not None and not _has_dtype(node) and node.args
+                        and any(is_queryish(n)
+                                for n in names_in(node.args[0]))
+                        and not any(exempt(fn) for fn in stack)):
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"np.{conv} on query input without an explicit "
+                        "dtype; mixed int/float extremes infer float64 and "
+                        "corrupt keys above 2**53 — pass dtype= or route "
+                        "through coerce_query_array/normalize_query_dtype"))
+            for child in ast.iter_child_nodes(node):
+                visit(child, stack)
+
+        visit(ctx.tree, [])
+        return findings
+
+
+@register
+class KeyTrueDivision(Rule):
+    """``/`` on key or rank arrays promotes to float64."""
+
+    code = "RPR102"
+    name = "key-true-division"
+    summary = ("true division on key/rank arrays promotes uint64 to "
+               "float64; use // or an explicit, bounded float transform")
+    scope_dirs = ("core", "models", "search", "engine")
+
+    def check(self, ctx: ModuleContext) -> list:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Div)):
+                continue
+            hot = [n for side in (node.left, node.right)
+                   for n in names_in(side) if is_keyish(n)]
+            if hot:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"true division involving key/rank data "
+                    f"({', '.join(sorted(set(hot)))}) promotes to float64; "
+                    "use // for rank arithmetic or isolate the float "
+                    "transform behind the correction layer"))
+        return findings
+
+
+@register
+class UncheckedFloatCast(Rule):
+    """``keys.astype(np.float64)`` without an explicit casting policy."""
+
+    code = "RPR103"
+    name = "unchecked-float-cast"
+    summary = ("astype to float on key-like arrays without casting= hides "
+               "precision loss above 2**53")
+    scope_dirs = ("core", "models", "search", "engine")
+
+    def check(self, ctx: ModuleContext) -> list:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "astype"):
+                continue
+            receiver = innermost_receiver(node.func.value)
+            if receiver is None or not is_keyish(receiver):
+                continue
+            if not node.args or not _is_float_dtype(node.args[0]):
+                continue
+            if any(kw.arg == "casting" for kw in node.keywords):
+                continue
+            findings.append(self.finding(
+                ctx, node,
+                f"{receiver}.astype(<float>) without casting=; keys above "
+                "2**53 lose precision silently — state the intent with "
+                "casting='same_kind' (and bound the error downstream) or "
+                "keep the integer dtype"))
+        return findings
+
+
+def _is_float_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    else:
+        return False
+    return name.startswith(("float", "double")) or name in ("half", "single")

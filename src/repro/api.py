@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .core.records import coerce_query_array
 from .engine.autotune import AutoTuneConfig
 from .engine.backends import BACKEND_KINDS, BackendConfig
 from .engine.executor import BatchExecutor
@@ -391,24 +392,44 @@ class Index:
         """Global lower-bound position of ``q`` in the live key sequence."""
         return self.engine.lookup(q)
 
+    def _coerce(self, values) -> tuple[np.ndarray, np.ndarray | None]:
+        """Key-exact query array + above-domain mask for raw client input.
+
+        A bare ``np.asarray`` over a mixed python list (a ``>2**63``
+        key next to a negative probe) infers float64 and corrupts keys
+        above 2**53; :func:`~repro.core.records.coerce_query_array`
+        clamps into the key domain exactly instead.  Masked lanes sit
+        above every representable key, so their lower bound is
+        ``len(self)``.
+        """
+        return coerce_query_array(values, self.engine.key_dtype)
+
     def lookup_many(self, queries: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`lookup` over a query batch (original order)."""
-        return self.executor.lookup_batch(np.asarray(queries))
+        queries, oob = self._coerce(queries)
+        positions = self.executor.lookup_batch(queries)
+        if oob is not None:
+            positions[oob] = len(self)
+        return positions
 
     def range(self, lo, hi) -> tuple[int, int]:
         """``[first, last)`` global positions of ``lo <= key < hi``."""
-        first, last = self.executor.range_batch(
-            np.asarray([lo]), np.asarray([hi])
-        )
+        first, last = self.range_many([lo], [hi])
         return int(first[0]), int(last[0])
 
     def range_many(
         self, lows: np.ndarray, highs: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`range` over aligned bound arrays."""
-        return self.executor.range_batch(
-            np.asarray(lows), np.asarray(highs)
-        )
+        lows, oob_lo = self._coerce(lows)
+        highs, oob_hi = self._coerce(highs)
+        first, last = self.executor.range_batch(lows, highs)
+        n = len(self)
+        if oob_lo is not None:
+            first[oob_lo] = n
+        if oob_hi is not None:
+            last[oob_hi] = n
+        return first, np.maximum(first, last)
 
     def count(self, lo, hi) -> int:
         """Cardinality of ``lo <= key < hi``."""
@@ -423,13 +444,20 @@ class Index:
         self, lows: np.ndarray, highs: np.ndarray
     ) -> list[np.ndarray]:
         """Materialised key slices per ``(lo, hi)`` range."""
-        return self.executor.scan_batch(
-            np.asarray(lows), np.asarray(highs)
-        )
+        lows_c, oob_lo = self._coerce(lows)
+        highs_c, oob_hi = self._coerce(highs)
+        if oob_lo is None and oob_hi is None:
+            return self.executor.scan_batch(lows_c, highs_c)
+        # out-of-domain extremes: slice via the (mask-patched) positions
+        # so a bound above the key domain still covers the last key
+        first, last = self.range_many(lows, highs)
+        keys = self.engine.keys
+        return [keys[int(a):int(b)] for a, b in zip(first, last)]
 
     def explain(self, queries: np.ndarray) -> str:
         """The engine's EXPLAIN for a batch: routing + per-shard strategy."""
-        return self.executor.explain(np.asarray(queries))
+        queries, _ = self._coerce(queries)
+        return self.executor.explain(queries)
 
     # ------------------------------------------------------------------
     # writes and maintenance

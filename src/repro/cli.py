@@ -23,6 +23,8 @@ reproduction can be poked without writing Python:
 * ``engine-update-bench`` — mixed read/write workload across backends
 * ``serve-bench``  — async serving: micro-batching + caching vs unbatched
 * ``autotune-bench`` — per-shard §3.9 auto-tuning vs fixed global configs
+* ``lint``         — project linter (RPR rules: dtype/lock/durability/
+  async contracts), text or JSON findings, nonzero exit on violations
 """
 
 from __future__ import annotations
@@ -485,6 +487,40 @@ def _cmd_engine_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import all_rules, lint_paths
+
+    def _codes(raw: str | None) -> list[str] | None:
+        if raw is None:
+            return None
+        return [c.strip() for c in raw.split(",") if c.strip()]
+
+    try:
+        report = lint_paths(args.paths, select=_codes(args.select),
+                            ignore=_codes(args.ignore))
+    except (FileNotFoundError, OSError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+        return 0 if report.clean else 1
+    for finding in report.findings:
+        print(finding.render())
+    if args.statistics:
+        rules = all_rules()
+        rows = [(code, count,
+                 rules[code].name if code in rules
+                 else {"RPR001": "syntax-error",
+                       "RPR002": "noqa-missing-reason",
+                       "RPR003": "unused-noqa"}.get(code, ""))
+                for code, count in report.statistics().items()]
+        print(format_table(["code", "findings", "rule"], rows,
+                           title="findings by rule"))
+    status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+    print(f"repro lint: {report.files_scanned} file(s) scanned, {status}")
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -503,7 +539,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="build an index through the repro.Index facade "
              "(optionally --save it)",
     )
-    p.add_argument("--dataset", default="uden64")
+    p.add_argument("--dataset", default="uden64",
+                   help="dataset name (see `repro datasets`)")
     p.add_argument("--preset", default=None,
                    choices=["read_heavy", "mixed", "auto"],
                    help="IndexConfig preset (overrides --model/--layer/"
@@ -557,13 +594,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_checkpoint)
 
     p = sub.add_parser("table2", help="run Table 2 cells")
-    p.add_argument("--datasets", nargs="*", default=None)
-    p.add_argument("--methods", nargs="*", default=None)
+    p.add_argument("--datasets", nargs="*", default=None,
+                   help="dataset names to run (default: all)")
+    p.add_argument("--methods", nargs="*", default=None,
+                   help="method names to run (default: all)")
     _add_common(p)
     p.set_defaults(fn=_cmd_table2)
 
     p = sub.add_parser("fig", help="run a figure driver")
-    p.add_argument("number", choices=sorted(_FIG_DRIVERS))
+    p.add_argument("number", choices=sorted(_FIG_DRIVERS),
+                   help="figure number to reproduce")
     _add_common(p)
     p.set_defaults(fn=_cmd_fig)
 
@@ -572,19 +612,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_datasets)
 
     p = sub.add_parser("tune", help="run the §3.9 advisor")
-    p.add_argument("dataset")
+    p.add_argument("dataset", help="dataset name (see `repro datasets`)")
     _add_common(p)
     p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("explain", help="trace one lookup")
-    p.add_argument("dataset")
-    p.add_argument("--query", default=None)
+    p.add_argument("dataset", help="dataset name (see `repro datasets`)")
+    p.add_argument("--query", default=None,
+                   help="key to trace (default: a sampled existing key)")
     _add_common(p)
     p.set_defaults(fn=_cmd_explain)
 
     p = sub.add_parser("engine-bench",
                        help="batch-engine throughput: scalar vs vectorized vs sharded")
-    p.add_argument("--dataset", default="uden64")
+    p.add_argument("--dataset", default="uden64",
+                   help="dataset name (see `repro datasets`)")
     p.add_argument("--save", default=None, metavar="PATH",
                    help="persist the sharded index after the verified run")
     p.add_argument("--load", default=None, metavar="PATH",
@@ -596,7 +638,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("engine-plan",
                        help="EXPLAIN a query batch against a sharded index")
-    p.add_argument("--dataset", default="uden64")
+    p.add_argument("--dataset", default="uden64",
+                   help="dataset name (see `repro datasets`)")
     p.add_argument("--backend", default="static",
                    choices=["static", "gapped", "fenwick"],
                    help="shard storage backend")
@@ -609,7 +652,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="async serving throughput: micro-batched + cached vs "
              "one-request-at-a-time, oracle-verified",
     )
-    p.add_argument("--dataset", default="uden64")
+    p.add_argument("--dataset", default="uden64",
+                   help="dataset name (see `repro datasets`)")
     p.add_argument("--backend", default="gapped",
                    choices=["static", "gapped", "fenwick"],
                    help="shard storage backend (default gapped: cheap writes)")
@@ -664,11 +708,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_autotune_bench)
 
     p = sub.add_parser(
+        "lint",
+        help="run the project linter (RPR dtype/lock/durability/async "
+             "rules) over source files",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format; json follows the stable schema "
+                        "documented in docs/ARCHITECTURE.md")
+    p.add_argument("--select", default=None, metavar="CODES",
+                   help="comma-separated rule code prefixes to enable "
+                        "(e.g. RPR1,RPR202); default all")
+    p.add_argument("--ignore", default=None, metavar="CODES",
+                   help="comma-separated rule code prefixes to disable")
+    p.add_argument("--statistics", action="store_true",
+                   help="print a findings-per-rule summary table")
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
         "engine-update-bench",
         help="mixed read/write workload: insert throughput + read latency "
              "per shard backend and write fraction",
     )
-    p.add_argument("--dataset", default="uden64")
+    p.add_argument("--dataset", default="uden64",
+                   help="dataset name (see `repro datasets`)")
     p.add_argument("--backends", nargs="*",
                    default=["static", "gapped", "fenwick"],
                    help="shard backends to sweep")

@@ -230,7 +230,7 @@ class CorrectedIndex:
         error_bounds = getattr(model, "error_bounds", None)
         if error_bounds is not None:
             err_lo, err_hi = error_bounds()
-            shape = np.asarray(queries).shape
+            shape = np.shape(queries)
             return (
                 np.full(shape, err_lo, dtype=np.int64),
                 np.full(shape, err_hi, dtype=np.int64),

@@ -10,6 +10,8 @@ cached with their payload ... which wastes cache space" (§2.2).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..hardware.machine import DEFAULT_PAYLOAD_BYTES
@@ -53,6 +55,53 @@ def normalize_query_dtype(
         else:
             high = None
     return queries.astype(key_dtype), high
+
+
+def coerce_query_array(values, key_dtype) -> tuple[np.ndarray, np.ndarray | None]:
+    """Key-comparable query array + above-domain mask for raw client input.
+
+    The hazard :func:`normalize_query_dtype` cannot fix: numpy's dtype
+    inference over a *mixed* python list silently produces float64 (a
+    ``>2**63`` key next to a negative probe), corrupting any key above
+    2**53 before the engine ever sees an array.  Fast path: inference
+    already yielded an integer array — ``normalize_query_dtype``
+    machinery downstream handles that exactly.  Slow path (mixed
+    extremes against integer keys): clamp each value into the key
+    domain by hand — ``ceil`` for fractional queries, since ``q < k``
+    iff ``ceil(q) <= k`` for a lower bound — and mask the above-domain
+    lanes, whose exact answer is ``len(index)``.  Float keys pass
+    through with numpy's own inference, which is exact for them.
+    """
+    arr = np.asarray(values)
+    key_dtype = np.dtype(key_dtype)
+    if key_dtype.kind not in "iu" or arr.dtype.kind in "iu":
+        return arr, None
+    # slow path: walk the *original* python values — round-tripping
+    # through ``arr`` would launder exact ints through float64 first
+    scalar = np.ndim(values) == 0
+    if scalar:
+        items = [values.item() if isinstance(values, np.ndarray) else values]
+    elif isinstance(values, np.ndarray):
+        items = values.tolist()
+    else:
+        items = list(values)
+    info = np.iinfo(key_dtype)
+    lo, hi = int(info.min), int(info.max)
+    out = np.empty(len(items), dtype=key_dtype)
+    oob_high = np.zeros(len(items), dtype=bool)
+    for i, v in enumerate(items):
+        # ceil for fractional queries: q < k iff ceil(q) <= k
+        v = math.ceil(v) if isinstance(v, (float, np.floating)) else int(v)
+        if v > hi:
+            oob_high[i] = True
+            v = hi
+        elif v < lo:
+            v = lo
+        out[i] = v
+    if scalar:
+        return out.reshape(()), (oob_high.reshape(()) if oob_high.any()
+                                 else None)
+    return out, (oob_high if oob_high.any() else None)
 
 
 class SortedData:

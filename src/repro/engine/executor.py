@@ -25,6 +25,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..core.corrected_index import CorrectedIndex
+from ..core.records import coerce_query_array
 from ..core.shift_table import ShiftTable
 from .plan import ExecutionPlan, ShardSlice
 from .sharded import ShardedIndex
@@ -198,15 +199,26 @@ class BatchExecutor:
         straddle any number of shard cuts; inverted ranges come back
         empty (``first == last``) like the scalar range engine.
         """
-        lows = np.asarray(lows)
-        highs = np.asarray(highs)
+        # raw client bounds may be a mixed python list whose dtype
+        # inference lands on float64; coerce into the key domain exactly
+        # and patch the above-domain lanes (true lower bound: len(index))
+        lows, oob_lo = coerce_query_array(lows, self.index.key_dtype)
+        highs, oob_hi = coerce_query_array(highs, self.index.key_dtype)
         if lows.shape != highs.shape:
             raise ValueError("lows and highs must align")
         first = self.lookup_batch(lows)
         last = self.lookup_batch(highs)
-        # guard inverted ranges (hi <= lo): empty, anchored at first
+        # guard inverted ranges (hi <= lo): empty, anchored at first —
+        # unless hi only *clamped* equal to lo from above the domain
         bad = highs <= lows
+        if oob_hi is not None:
+            bad &= ~oob_hi
         last[bad] = first[bad]
+        n = len(self.index)
+        if oob_lo is not None:
+            first[oob_lo] = n
+        if oob_hi is not None:
+            last[oob_hi] = n
         return first, np.maximum(first, last)
 
     def count_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:

@@ -729,15 +729,23 @@ class ShardedIndex:
     # ------------------------------------------------------------------
     @property
     def keys(self) -> np.ndarray:
-        """The live global key array (materialised lazily after updates)."""
-        if self._keys_dirty:
-            parts = [self.shards[int(s)].keys() for s in self._nonempty]
-            self._keys = (
-                np.concatenate(parts) if parts
-                else np.empty(0, dtype=self.key_dtype)
-            )
-            self._keys_dirty = False
-        return self._keys
+        """The live global key array (materialised lazily after updates).
+
+        Rebuilding the cache mutates ``_keys``/``_keys_dirty``, which a
+        concurrent writer also touches — without the lock two readers
+        can interleave with an insert and publish a stale concatenation
+        as "clean".  The write lock is re-entrant, so writer threads
+        that already hold it read ``keys`` at no extra cost.
+        """
+        with self._write_lock:
+            if self._keys_dirty:
+                parts = [self.shards[int(s)].keys() for s in self._nonempty]
+                self._keys = (
+                    np.concatenate(parts) if parts
+                    else np.empty(0, dtype=self.key_dtype)
+                )
+                self._keys_dirty = False
+            return self._keys
 
     def __len__(self) -> int:
         return int(self.offsets[-1])

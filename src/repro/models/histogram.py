@@ -63,7 +63,7 @@ class HistogramModel(CDFModel):
         return (b + frac) * self.depth
 
     def predict_pos_batch(self, keys: np.ndarray) -> np.ndarray:
-        k = keys.astype(np.float64)
+        k = keys.astype(np.float64)  # repro: noqa[RPR103] — model domain is float64 by design; search window bounds the error
         bounds = self._bounds
         # bucket of k: first b with bounds[b+1] >= k
         b = np.searchsorted(bounds[1:], k, side="left")

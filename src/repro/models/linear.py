@@ -45,7 +45,7 @@ class LinearModel(CDFModel):
         return self.slope * float(key) + self.intercept
 
     def predict_pos_batch(self, keys: np.ndarray) -> np.ndarray:
-        return self.slope * keys.astype(np.float64) + self.intercept
+        return self.slope * keys.astype(np.float64) + self.intercept  # repro: noqa[RPR103] — least-squares fit is float by design; correction layer bounds the error
 
     def size_bytes(self) -> int:
         return 16

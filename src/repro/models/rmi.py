@@ -87,7 +87,7 @@ class RMIModel(CDFModel):
             self._root_params = (int(data[0]), shift)
 
     def _root_leaf_batch(self, keys: np.ndarray) -> np.ndarray:
-        x = keys.astype(np.float64)
+        x = keys.astype(np.float64)  # repro: noqa[RPR103] — root fit is float by design; per-leaf error bounds are recorded
         if self.root_kind == "linear":
             a, b = self._root_params
             raw = a * x + b
@@ -120,7 +120,7 @@ class RMIModel(CDFModel):
             raw = a * key + b
         elif self.root_kind == "cubic":
             c3, c2, c1, c0 = self._root_params
-            t = (key - self._min) / self._span
+            t = (key - self._min) / self._span  # repro: noqa[RPR102] — cubic root model maps keys to [0,1]; leaf correction bounds the error
             raw = ((c3 * t + c2) * t + c1) * t + c0
         else:
             base, shift = self._root_params
@@ -205,7 +205,7 @@ class RMIModel(CDFModel):
 
     def predict_pos_batch(self, keys: np.ndarray) -> np.ndarray:
         leaf = self._root_leaf_batch(keys)
-        return self._slopes[leaf] * keys.astype(np.float64) + self._intercepts[leaf]
+        return self._slopes[leaf] * keys.astype(np.float64) + self._intercepts[leaf]  # repro: noqa[RPR103] — prediction is float by design; per-leaf error bounds the search
 
     def error_bounds(
         self, key: int | float, tracker: NullTracker = NULL_TRACKER

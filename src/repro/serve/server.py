@@ -224,9 +224,7 @@ class IndexServer:
                     return self.index.keys[first:last]
             # writes keep racing the batched path: answer synchronously
             # (exact — no suspension point between resolve and slice)
-            first_arr, last_arr = self.executor.range_batch(
-                np.asarray([lo]), np.asarray([hi])
-            )
+            first_arr, last_arr = self.executor.range_batch([lo], [hi])
             return self.index.keys[int(first_arr[0]):int(last_arr[0])]
         finally:
             self.stats.request_finished()

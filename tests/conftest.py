@@ -9,8 +9,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.sanitizers import install_global, sanitizers_enabled
 from repro.core.records import SortedData
 from repro.hardware.tracker import alloc_region
+
+# REPRO_SANITIZE=1 runs the whole suite with runtime invariant checking:
+# every ShardedIndex gets a lock-ownership tracker asserting WriteEvents
+# fire under the write lock, and every DurabilityManager gets a WAL
+# wrapper asserting apply-order = LSN-order (see repro.analysis.sanitizers)
+if sanitizers_enabled():
+    install_global()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,27 @@
+"""Lint fixture: dtype-safe variants that must produce zero findings.
+
+This file is never imported, only parsed.
+"""
+
+import numpy as np
+
+from repro.core.records import normalize_query_dtype
+
+
+def lookup_many(queries, key_dtype):
+    qs = np.asarray(queries, dtype=key_dtype)
+    return normalize_query_dtype(qs, key_dtype)
+
+
+def lookup_many_normalized(queries, key_dtype):
+    # no dtype on the conversion, but the function routes through the
+    # sanctioned normaliser, which is the designated escape
+    return normalize_query_dtype(np.asarray(queries), key_dtype)
+
+
+def to_model_domain(keys):
+    return keys.astype(np.float64, casting="same_kind")
+
+
+def shard_targets(num_keys, n_shards):
+    return num_keys / n_shards

@@ -1,0 +1,27 @@
+"""Lint fixture: RPR1xx dtype-safety violations.
+
+Each offending line carries a trailing ``# expect: RPRxxx`` marker;
+``tests/test_analysis.py`` asserts the linter reports exactly those.
+This file is never imported, only parsed.
+"""
+
+import numpy as np
+
+
+def lookup_many(queries):
+    qs = np.asarray(queries)  # expect: RPR101
+    return qs
+
+
+def lookup_one(q):
+    return np.array([q])  # expect: RPR101
+
+
+def rank_math(keys, num_keys):
+    scale = num_keys / 2  # counts may divide freely: not a finding
+    mid = keys / 2  # expect: RPR102
+    return scale, mid
+
+
+def to_model_domain(keys):
+    return keys.astype(np.float64)  # expect: RPR103

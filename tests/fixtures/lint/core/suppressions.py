@@ -1,0 +1,25 @@
+"""Lint fixture: suppression grammar (RPR002 reason required, RPR003
+unused, and a correctly justified suppression).
+
+This file is never imported, only parsed.  Expected findings are listed
+explicitly in ``tests/test_analysis.py`` because the markers would
+collide with the suppression comments under test.
+"""
+
+import numpy as np
+
+
+def missing_reason(queries):
+    # line below: RPR101 still fires AND the bare noqa earns RPR002
+    return np.asarray(queries)  # repro: noqa[RPR101]
+
+
+def unused_suppression(n):
+    # line below: nothing to suppress, so the annotation earns RPR003
+    total = n + 1  # repro: noqa[RPR102] — no division happens here
+    return total
+
+
+def justified(queries):
+    # line below: suppressed cleanly, no findings at all
+    return np.asarray(queries)  # repro: noqa[RPR101] — fixture of a reasoned exception

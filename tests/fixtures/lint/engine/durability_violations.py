@@ -1,0 +1,15 @@
+"""Lint fixture: RPR3xx durability violations.
+
+This file is never imported, only parsed.
+"""
+
+import os
+
+
+def publish_manifest(path, tmp):
+    os.replace(tmp, path)  # expect: RPR301
+
+
+def write_state(path, payload):
+    with open(path, "w") as fh:  # expect: RPR302
+        fh.write(payload)

@@ -1,0 +1,16 @@
+"""Lint fixture: RPR4xx blocking calls inside ``async def``.
+
+This file is never imported, only parsed.
+"""
+
+import os
+import time
+
+
+async def handle(request, lock, path):
+    time.sleep(0.01)  # expect: RPR401
+    lock.acquire()  # expect: RPR401
+    with open(path) as fh:  # expect: RPR401
+        data = fh.read()
+    os.fsync(3)  # expect: RPR401
+    return data

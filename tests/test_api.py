@@ -305,3 +305,82 @@ def test_cli_engine_bench_save_load_round_trip(tmp_path, capsys):
                  "--load", str(path)]) == 0
     out = capsys.readouterr().out
     assert "sharded[K=2]" in out
+
+
+# ----------------------------------------------------------------------
+# dtype exactness at the top of the uint64 domain (regression: the
+# facade used to funnel queries through np.asarray, whose float64
+# inference corrupts keys above 2**53)
+# ----------------------------------------------------------------------
+def test_facade_exact_at_uint64_extremes():
+    top = (1 << 64) - 1
+    raw = [5, 10, top - 2, top - 1, top]
+    keys_hi = np.array(raw, dtype=np.uint64)
+    index = Index.build(keys_hi, IndexConfig(num_shards=2))
+
+    # python-int queries at the extreme: float64 would collapse the top
+    # three keys into one value; positions must stay distinct
+    pos = index.lookup_many([top - 2, top - 1, top])
+    assert pos.tolist() == [2, 3, 4]
+    assert index.lookup(top) == 4
+
+    # mixed-sign list: plain np.asarray would infer float64 for it
+    pos = index.lookup_many([-1, 7, top])
+    assert pos.tolist() == [0, 1, 4]
+
+    # fractional floats ceil to the next representable key
+    assert index.lookup_many([7.5]).tolist() == [1]
+    assert index.lookup_many([float(2**63)]).tolist() == [2]
+
+    # ranges and scans at the top of the domain stay exact too
+    assert index.range(top - 2, top) == (2, 4)
+    assert index.count(top - 2, top) == 2
+    assert index.scan(top - 2, top).tolist() == [top - 2, top - 1]
+    first, last = index.range_many([-5, top - 1], [6, top])
+    assert first.tolist() == [0, 3] and last.tolist() == [1, 4]
+    got = index.scan_many([top - 2], [top])
+    assert got[0].tolist() == [top - 2, top - 1]
+
+    # beyond-domain queries clamp to len(index), never wrap around
+    assert index.lookup_many([float(2**65)]).tolist() == [5]
+    assert "shard" in index.explain([top])
+
+
+def test_executor_range_batch_exact_at_uint64_extremes():
+    # same regression one layer down: BatchExecutor.range_batch used to
+    # np.asarray its bounds directly
+    from repro.engine import BatchExecutor, ShardedIndex
+
+    top = (1 << 64) - 1
+    keys_hi = np.array([5, 10, top - 2, top - 1, top], dtype=np.uint64)
+    executor = BatchExecutor(ShardedIndex.build(keys_hi, 2))
+    first, last = executor.range_batch([top - 2, -3], [top, 7])
+    assert first.tolist() == [2, 0] and last.tolist() == [4, 1]
+    # out-of-domain low clamps the whole range empty at the tail
+    first, last = executor.range_batch([float(2**65)], [float(2**66)])
+    assert first.tolist() == [5] and last.tolist() == [5]
+
+
+# ----------------------------------------------------------------------
+# CLI help audit: every command documented, every argument has help
+# ----------------------------------------------------------------------
+def test_cli_help_audit():
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subactions = [a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction)]
+    assert len(subactions) == 1
+    commands = subactions[0].choices
+    assert "lint" in commands
+    doc = __import__("repro.cli", fromlist=["cli"]).__doc__
+    for name, sub in commands.items():
+        assert name in doc, f"command {name!r} missing from repro.cli docstring"
+        for action in sub._actions:
+            if isinstance(action, argparse._HelpAction):
+                continue
+            assert action.help, (
+                f"argument {action.option_strings or action.dest} of "
+                f"{name!r} has no help text")

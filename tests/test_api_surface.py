@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.engine",
     "repro.engine.persist",
     "repro.serve",
+    "repro.analysis",
 ]
 
 #: The PR-5 contract: the root namespace is the package's public API.
