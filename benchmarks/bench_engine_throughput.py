@@ -16,11 +16,11 @@ import sys
 from pathlib import Path
 
 try:
-    from repro.bench.engine_throughput import run_engine_throughput
+    from repro.bench.engine_throughput import run_engine_bench_json
     from repro.bench.reporting import format_table
 except ImportError:  # direct invocation without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-    from repro.bench.engine_throughput import run_engine_throughput
+    from repro.bench.engine_throughput import run_engine_bench_json
     from repro.bench.reporting import format_table
 
 
@@ -37,9 +37,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--kernels", default="auto",
+                        choices=["auto", "numba", "numpy"],
+                        help="batch-pipeline backend (auto sweeps both "
+                             "for the JSON artifact)")
+    parser.add_argument("--json", default="BENCH_engine.json",
+                        dest="json_path", metavar="PATH",
+                        help="result artifact path (default "
+                             "BENCH_engine.json)")
     args = parser.parse_args(argv)
 
-    rows = run_engine_throughput(
+    payload = run_engine_bench_json(
+        args.json_path,
+        kernels=args.kernels,
         n=args.n,
         num_queries=args.queries,
         num_shards=args.shards,
@@ -50,18 +60,27 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         repeats=args.repeats,
     )
-    table = [
-        [r["mode"], r["queries"], r["qps"], r["ns_per_lookup"],
-         r["speedup_vs_scalar"]]
-        for r in rows
-    ]
-    print(format_table(
-        ["mode", "queries", "qps", "ns/lookup", "speedup vs scalar"],
-        table,
-        title=(f"engine throughput — {args.dataset}, n={args.n:,}, "
-               f"model={args.model}, layer={args.layer}"),
-        float_digits=1,
-    ))
+    for run in payload["runs"]:
+        if not run["available"]:
+            print(f"kernels={run['kernels']}: unavailable "
+                  f"({run['note']})")
+            continue
+        table = [
+            [r["mode"], r["kernels"], r["queries"], r["qps"],
+             r["ns_per_lookup"], r["p50_ns_per_lookup"],
+             r["p99_ns_per_lookup"], r["speedup_vs_scalar"]]
+            for r in run["results"]
+        ]
+        print(format_table(
+            ["mode", "kernels", "queries", "qps", "ns/lookup", "p50 ns",
+             "p99 ns", "speedup vs scalar"],
+            table,
+            title=(f"engine throughput — {args.dataset}, n={args.n:,}, "
+                   f"model={args.model}, layer={args.layer}, "
+                   f"kernels={run['kernels']}"),
+            float_digits=1,
+        ))
+    print(f"wrote {args.json_path}")
     return 0
 
 

@@ -228,6 +228,7 @@ def all_rules() -> dict[str, Rule]:
         from . import rules_async  # noqa: F401
         from . import rules_dtype  # noqa: F401
         from . import rules_durability  # noqa: F401
+        from . import rules_kernels  # noqa: F401
         from . import rules_lock  # noqa: F401
         _LOADED = True
     return dict(_REGISTRY)

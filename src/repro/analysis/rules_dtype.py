@@ -26,6 +26,7 @@ from .framework import ModuleContext, Rule, register
 NORMALIZER_CALLS = frozenset({
     "normalize_query_dtype",
     "coerce_query_array",
+    "ensure_kernel_query_dtype",
     "route_batch",
     "_query_array",
 })

@@ -24,6 +24,7 @@ through whole-engine persistence (``--save``/``--load`` on the CLI).
 
 from __future__ import annotations
 
+import json
 import time
 
 import numpy as np
@@ -31,6 +32,10 @@ import numpy as np
 from ..api import Index, IndexConfig
 from ..datasets import load
 from ..engine import BatchExecutor
+from ..kernels import REGISTRY, set_kernel_mode
+
+#: Chunks the query batch is split into for the latency distribution.
+_LATENCY_CHUNKS = 32
 
 
 def _time_best(fn, repeats: int = 3) -> float:
@@ -41,6 +46,27 @@ def _time_best(fn, repeats: int = 3) -> float:
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def _latency_percentiles(
+    executor: BatchExecutor, qs: np.ndarray, chunks: int = _LATENCY_CHUNKS
+) -> tuple[float, float]:
+    """``(p50, p99)`` ns-per-lookup over per-chunk timings.
+
+    The batch is split into ``chunks`` contiguous chunks and each chunk
+    is timed independently, so the percentiles reflect the spread of
+    batch-amortised latency (routing + pipeline per chunk), not a
+    fictional per-query number a batch engine cannot observe.
+    """
+    per_lookup_ns = []
+    for chunk in np.array_split(qs, min(chunks, len(qs))):
+        if chunk.size == 0:
+            continue
+        t0 = time.perf_counter()
+        executor.lookup_batch(chunk)
+        per_lookup_ns.append(1e9 * (time.perf_counter() - t0) / chunk.size)
+    dist = np.asarray(per_lookup_ns)
+    return float(np.percentile(dist, 50)), float(np.percentile(dist, 99))
 
 
 def run_engine_throughput(
@@ -56,6 +82,7 @@ def run_engine_throughput(
     repeats: int = 3,
     save_path: str | None = None,
     load_path: str | None = None,
+    kernels: str = "auto",
 ) -> list[dict[str, object]]:
     """Run all three modes and return one result row per mode.
 
@@ -65,8 +92,39 @@ def run_engine_throughput(
     dataset; ``dataset``/``n``/``num_shards`` are ignored, but
     ``workers`` still applies — the pool width is a property of this
     run, not of the artifact); ``save_path`` persists the sharded index
-    after the verified run.
+    after the verified run.  ``kernels`` selects the batch-pipeline
+    backend (``auto``/``numba``/``numpy``); the previous mode is
+    restored on exit, and the effective backend is recorded per row so a
+    silently-degraded ``numba`` request can never masquerade as a
+    compiled-kernel number.
     """
+    prev_mode = REGISTRY.mode
+    set_kernel_mode(kernels, strict=False)
+    try:
+        return _run_engine_throughput(
+            n=n, num_queries=num_queries, num_shards=num_shards,
+            dataset=dataset, model=model, layer=layer, seed=seed,
+            workers=workers, scalar_queries=scalar_queries,
+            repeats=repeats, save_path=save_path, load_path=load_path,
+        )
+    finally:
+        set_kernel_mode(prev_mode, strict=False)
+
+
+def _run_engine_throughput(
+    n: int,
+    num_queries: int,
+    num_shards: int,
+    dataset: str,
+    model: str,
+    layer: str | None,
+    seed: int,
+    workers: int,
+    scalar_queries: int | None,
+    repeats: int,
+    save_path: str | None,
+    load_path: str | None,
+) -> list[dict[str, object]]:
     if load_path is not None:
         sharded = Index.open(load_path)
         # override the persisted executor: benchmark with the worker
@@ -120,20 +178,28 @@ def run_engine_throughput(
         (f"sharded[K={num_shards}]", sharded.executor, queries),
     ]
 
+    kernel_mode = REGISTRY.effective_mode()
     rows: list[dict[str, object]] = []
     for mode, executor, qs in executors:
+        # the verification pass doubles as kernel warm-up: numba's
+        # first call pays compilation (or cache load), which must not
+        # land inside the timed region
         got = executor.lookup_batch(qs)
         if not np.array_equal(got, truth[: len(qs)]):
             raise AssertionError(f"{mode} produced wrong positions")
         seconds = _time_best(lambda: executor.lookup_batch(qs), repeats)
         qps = len(qs) / seconds if seconds > 0 else float("inf")
+        p50, p99 = _latency_percentiles(executor, qs)
         rows.append(
             {
                 "mode": mode,
+                "kernels": kernel_mode,
                 "queries": len(qs),
                 "seconds": seconds,
                 "qps": qps,
                 "ns_per_lookup": 1e9 * seconds / len(qs),
+                "p50_ns_per_lookup": p50,
+                "p99_ns_per_lookup": p99,
             }
         )
     base = rows[0]["qps"]
@@ -142,3 +208,56 @@ def run_engine_throughput(
     if save_path is not None:
         sharded.save(save_path)
     return rows
+
+
+def run_engine_bench_json(
+    json_path: str,
+    kernels: str = "auto",
+    **kwargs,
+) -> dict[str, object]:
+    """Run the throughput bench and write ``BENCH_engine.json``.
+
+    ``kernels="auto"`` sweeps *both* backends — one run with the
+    compiled numba kernels (recorded as unavailable when numba is not
+    importable, never silently substituted) and one with the numpy
+    fallback — so the artifact always answers "what did compilation
+    buy on this machine".  An explicit mode runs just that backend.
+    ``kwargs`` are forwarded to :func:`run_engine_throughput`.
+    """
+    modes = ("numba", "numpy") if kernels == "auto" else (kernels,)
+    runs: list[dict[str, object]] = []
+    for mode in modes:
+        if mode == "numba" and not REGISTRY.numba_available:
+            runs.append({
+                "kernels": "numba",
+                "available": False,
+                "note": "numba not importable in this environment",
+                "results": [],
+            })
+            continue
+        runs.append({
+            "kernels": mode,
+            "available": True,
+            "results": run_engine_throughput(kernels=mode, **kwargs),
+        })
+    payload: dict[str, object] = {
+        "bench": "engine_throughput",
+        "schema_version": 1,
+        "config": {
+            "n": kwargs.get("n", 1_000_000),
+            "num_queries": kwargs.get("num_queries", 100_000),
+            "num_shards": kwargs.get("num_shards", 8),
+            "dataset": kwargs.get("dataset", "uden64"),
+            "model": kwargs.get("model", "interpolation"),
+            "layer": kwargs.get("layer", "R"),
+            "seed": kwargs.get("seed", 42),
+            "workers": kwargs.get("workers", 1),
+            "repeats": kwargs.get("repeats", 3),
+        },
+        "numba_available": REGISTRY.numba_available,
+        "runs": runs,
+    }
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload

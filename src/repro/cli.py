@@ -333,9 +333,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_engine_bench(args: argparse.Namespace) -> int:
-    from .bench.engine_throughput import run_engine_throughput
+    from .bench.engine_throughput import (
+        run_engine_bench_json,
+        run_engine_throughput,
+    )
 
-    rows = run_engine_throughput(
+    common = dict(
         n=args.n or 1_000_000,
         num_queries=args.queries or 100_000,
         num_shards=args.shards,
@@ -347,15 +350,35 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
         save_path=args.save,
         load_path=args.load,
     )
-    table = [
-        [r["mode"], r["queries"], r["qps"], r["ns_per_lookup"],
-         r["speedup_vs_scalar"]]
-        for r in rows
-    ]
-    print(format_table(
-        ["mode", "queries", "qps", "ns/lookup", "speedup vs scalar"],
-        table, title=f"engine throughput — {args.dataset}", float_digits=1,
-    ))
+    if args.json_path is not None:
+        payload = run_engine_bench_json(
+            args.json_path, kernels=args.kernels, **common
+        )
+        run_rows = [
+            (run["kernels"], run["results"])
+            for run in payload["runs"]
+            if run["available"]
+        ]
+    else:
+        run_rows = [(args.kernels,
+                     run_engine_throughput(kernels=args.kernels, **common))]
+    for kernels, rows in run_rows:
+        table = [
+            [r["mode"], r["kernels"], r["queries"], r["qps"],
+             r["ns_per_lookup"], r["p50_ns_per_lookup"],
+             r["p99_ns_per_lookup"], r["speedup_vs_scalar"]]
+            for r in rows
+        ]
+        print(format_table(
+            ["mode", "kernels", "queries", "qps", "ns/lookup", "p50 ns",
+             "p99 ns", "speedup vs scalar"],
+            table,
+            title=(f"engine throughput — {args.dataset} "
+                   f"[kernels={kernels}]"),
+            float_digits=1,
+        ))
+    if args.json_path is not None:
+        print(f"wrote {args.json_path}")
     return 0
 
 
@@ -632,6 +655,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", default=None, metavar="PATH",
                    help="reopen a saved index as the sharded contender "
                         "(ignores --dataset/--n/--shards)")
+    p.add_argument("--kernels", default="auto",
+                   choices=["auto", "numba", "numpy"],
+                   help="batch-pipeline backend (default auto: compiled "
+                        "kernels when numba is importable)")
+    p.add_argument("--json", default=None, metavar="PATH", dest="json_path",
+                   help="also write the results as a BENCH_engine.json "
+                        "artifact (sweeps both kernel backends under "
+                        "--kernels=auto)")
     _add_engine_options(p)
     _add_common(p)
     p.set_defaults(fn=_cmd_engine_bench)

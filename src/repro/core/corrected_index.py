@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..hardware.tracker import NULL_TRACKER, NullTracker
+from ..kernels import dispatch as kernel_dispatch
 from ..models.base import CDFModel, predicted_index, predicted_index_batch
 from ..models.rmi import RMIModel
 from ..search.batch import validated_lower_bound_batch
@@ -34,7 +35,7 @@ from ..search.local import (
     unbounded_local_search,
 )
 from .compact import CompactShiftTable
-from .records import SortedData, normalize_query_dtype
+from .records import SortedData, coerce_query_array, normalize_query_dtype
 from .shift_table import ShiftTable
 
 
@@ -162,7 +163,7 @@ class CorrectedIndex:
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
         """Untraced lookups for a batch of queries (tests and examples)."""
         return np.fromiter(
-            (self.lookup(q) for q in queries), dtype=np.int64, count=len(queries)
+            (self.lookup(q) for q in queries), dtype=np.int64, count=len(queries)  # repro: noqa[RPR501] — the scalar Algorithm-1 loop is the parity oracle the kernels are tested against
         )
 
     def lookup_batch_vectorized(self, queries: np.ndarray) -> np.ndarray:
@@ -187,6 +188,19 @@ class CorrectedIndex:
         keys = self.data.keys
         n = len(keys)
         queries, oob_high = normalize_query_dtype(queries, keys.dtype)
+        if (
+            queries.dtype.kind == "f"
+            and keys.dtype.kind in "iu"
+            and keys.dtype.itemsize >= 8
+        ):
+            # float queries against 64-bit integer keys would make every
+            # kernel comparison promote the keys to float64 (silently
+            # wrong above 2**53); convert exactly instead — ``q < k`` iff
+            # ``ceil(q) <= k``, so positions are unchanged
+            queries, oob_f = coerce_query_array(queries, keys.dtype)
+            if oob_f is not None:
+                oob_high = (oob_f if oob_high is None
+                            else (oob_high | oob_f))
         if queries.size == 0:
             return np.empty(0, dtype=np.int64)
         result = self._lookup_batch_pipeline(keys, n, queries)
@@ -197,6 +211,13 @@ class CorrectedIndex:
     def _lookup_batch_pipeline(
         self, keys: np.ndarray, n: int, queries: np.ndarray
     ) -> np.ndarray:
+        # compiled fast path: when the numba backend is live and this
+        # model/layer pair has a kernel plan, the whole chunk runs as two
+        # fused per-lane passes (element-wise identical by the parity
+        # suite); ``None`` keeps the numpy composition below
+        fused = kernel_dispatch.fused_lookup_batch(self, keys, n, queries)
+        if fused is not None:
+            return fused
         pred = self.model.predict_pos_batch(queries)
 
         if isinstance(self.layer, ShiftTable):

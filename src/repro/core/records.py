@@ -104,6 +104,41 @@ def coerce_query_array(values, key_dtype) -> tuple[np.ndarray, np.ndarray | None
     return out, (oob_high if oob_high.any() else None)
 
 
+def ensure_kernel_query_dtype(data: np.ndarray, queries: np.ndarray) -> None:
+    """Reject query dtypes the search kernels would silently corrupt.
+
+    The batch search kernels compare ``queries`` against ``data``
+    element-wise; numpy resolves a mismatched integer pair (int64 queries
+    vs uint64 keys) — and any float query batch — by promoting *both*
+    sides to float64, which rounds 64-bit keys above 2**53 and returns
+    confidently wrong positions.  The sanctioned normalisers
+    (:func:`normalize_query_dtype`, :func:`coerce_query_array`) convert
+    such batches exactly before they reach a kernel, so a mismatch here
+    is always a caller bug — raise instead of trusting the comment at
+    the call site.  Narrow keys (< 8 bytes) are exempt: they are exact
+    in float64, so the promoted comparison cannot corrupt them.
+    """
+    key_dtype = data.dtype
+    if key_dtype.kind not in "iu" or key_dtype.itemsize < 8:
+        return
+    query_kind = queries.dtype.kind
+    if query_kind in "iu":
+        if np.result_type(key_dtype, queries.dtype).kind != "f":
+            return
+        raise TypeError(
+            f"query dtype {queries.dtype} vs key dtype {key_dtype} would "
+            "promote the kernel comparison to float64, corrupting keys "
+            "above 2**53; route queries through normalize_query_dtype/"
+            "coerce_query_array first"
+        )
+    if query_kind == "f":
+        raise TypeError(
+            f"float queries ({queries.dtype}) against {key_dtype} keys "
+            "compare in float64, corrupting keys above 2**53; route "
+            "queries through coerce_query_array first"
+        )
+
+
 class SortedData:
     """Sorted keys + implicit payloads, with a simulated memory region."""
 

@@ -50,12 +50,19 @@ class BatchExecutor:
         index: ShardedIndex | CorrectedIndex,
         mode: str = "vectorized",
         workers: int | None = None,
+        tracker=None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         self.index = _as_sharded(index)
         self.mode = mode
         self.workers = int(workers) if workers else 1
+        #: optional :class:`~repro.hardware.tracker.SimTracker`: when
+        #: installed, point lookups charge the canonical per-query probe
+        #: sequence (Algorithm 1) through it — the same sequence the
+        #: compiled per-lane kernels execute — so scalar and batch
+        #: execution charge identical probe counts by construction
+        self.tracker = tracker
         self._pool: ThreadPoolExecutor | None = None
 
     # ------------------------------------------------------------------
@@ -142,10 +149,18 @@ class BatchExecutor:
             # every key was deleted: the global lower bound is 0 everywhere
             out[:] = 0
             return out
-        if self.mode == "scalar":
+        if self.mode == "scalar" or self.tracker is not None:
+            # traced batches run the sequential reference path: hardware
+            # cost simulation needs the exact Algorithm-1 probe order,
+            # which vectorised lane passes reorder
             index = self.index
-            for i, q in enumerate(queries):
-                out[i] = index.lookup(q)
+            tracker = self.tracker
+            for i, q in enumerate(queries):  # repro: noqa[RPR501] — traced/scalar reference path must charge the sequential Algorithm-1 probe order
+                out[i] = (
+                    index.lookup(q)
+                    if tracker is None
+                    else index.lookup(q, tracker)
+                )
             return out
 
         index = self.index

@@ -2,22 +2,54 @@
 
 The scalar query path (Algorithm 1) resolves one window at a time with
 :func:`~repro.search.local.bounded_local_search`.  The batch engine
-instead carries *arrays* of per-query windows and runs a lane-parallel
-binary search: every numpy pass halves all still-open windows at once, so
-a batch resolves in ``O(log max_window)`` vectorised passes regardless of
-batch size — no per-query Python loop anywhere.
+instead carries *arrays* of per-query windows; this module dispatches
+them to whichever search kernel backend is live in
+:data:`repro.kernels.REGISTRY`:
+
+* the pure-numpy lane-parallel binary search (every numpy pass halves
+  all still-open windows at once — ``O(log max_window)`` vectorised
+  passes regardless of batch size, no per-query Python loop), or
+* the numba per-lane compiled kernel (one branch-light loop over lanes,
+  ``nogil`` so executor threads overlap), when numba is importable and
+  the kernel mode allows it.
 
 :func:`validated_lower_bound_batch` layers the §3.8 edge validation on
-top: lanes whose result is pinned to a window edge that does not actually
-bracket the query (non-monotone models, merged partitions, S-mode point
-estimates) are re-resolved with a full-array ``searchsorted``.  That
-fallback returns the exact global lower bound, so batch results are
-always element-wise identical to the scalar path's answers.
+top: lanes whose result is pinned to a window edge that does not
+actually bracket the query (non-monotone models, merged partitions,
+S-mode point estimates) are re-resolved exactly.  Both backends return
+element-wise identical answers to the scalar path.
+
+Dtype contract: these are kernel boundaries, so query dtypes are
+**checked, not trusted** —
+:func:`~repro.core.records.ensure_kernel_query_dtype` raises on any
+combination numpy would resolve by promoting 64-bit keys to float64
+(the silent-corruption class above 2**53).  Callers route raw input
+through ``normalize_query_dtype``/``coerce_query_array`` first.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..core.records import ensure_kernel_query_dtype
+from ..kernels import REGISTRY
+
+
+def _kernel(name: str, queries: np.ndarray, windows: np.ndarray):
+    """Live kernel for ``name``; per-lane backends need aligned 1-D lanes.
+
+    The numpy implementations broadcast (scalar queries against window
+    arrays and vice versa, as the original lane-parallel code did); the
+    compiled per-lane loops index every lane, so shape-mismatched calls
+    stay on the numpy path.
+    """
+    entry = REGISTRY.entry(name)
+    impl_name, impl = entry.resolve(REGISTRY.effective_mode() == "numba")
+    if impl_name == "numba" and (
+        queries.ndim != 1 or queries.shape != windows.shape
+    ):
+        return entry.numpy_impl
+    return impl
 
 
 def bounded_lower_bound_batch(
@@ -33,21 +65,12 @@ def bounded_lower_bound_batch(
     window contains no element ``>= queries[i]`` (including empty
     windows), exactly like the scalar ``lower_bound``.
     """
-    lo = np.asarray(lo, dtype=np.int64).copy()
-    hi = np.asarray(hi, dtype=np.int64).copy()
-    if lo.size == 0:
-        return lo
-    while True:
-        active = lo < hi
-        if not active.any():
-            return lo
-        mid = (lo + hi) >> 1
-        # inactive lanes probe index 0 (masked out below) so fancy
-        # indexing never reads past the array
-        probe = np.where(active, mid, 0)
-        go_right = active & (data[probe] < queries)
-        lo = np.where(go_right, mid + 1, lo)
-        hi = np.where(active & ~go_right, mid, hi)
+    queries = np.asarray(queries)
+    ensure_kernel_query_dtype(data, queries)
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    out = np.empty(lo.shape, dtype=np.int64)
+    return _kernel("search.bounded", queries, lo)(data, queries, lo, hi, out)
 
 
 def validated_lower_bound_batch(
@@ -64,25 +87,11 @@ def validated_lower_bound_batch(
     R-mode windows over a monotone model the fallback never fires and
     this is a pure bounded search.
     """
-    n = len(data)
-    queries = np.asarray(queries)  # repro: noqa[RPR101] — inputs are shard-routed slices already cast via normalize_query_dtype
-    lo = np.clip(np.asarray(starts, dtype=np.int64), 0, n)
-    hi = np.clip(np.asarray(starts, dtype=np.int64) + widths + 1, lo, n)
-    result = bounded_lower_bound_batch(data, queries, lo, hi)
-    if result.size == 0:
-        return result
-    # left edge: pinned at the window start, but the predecessor already
-    # satisfies >= q, so the true lower bound is further left
-    left = (result == lo) & (lo > 0)
-    if left.any():
-        left &= data[np.maximum(lo - 1, 0)] >= queries
-    # right edge: exhausted the window, but the next record is still < q
-    right = (result == hi) & (hi < n)
-    if right.any():
-        right &= data[np.minimum(hi, n - 1)] < queries
-    violated = left | right
-    if violated.any():
-        result[violated] = np.searchsorted(
-            data, queries[violated], side="left"
-        )
-    return result
+    queries = np.asarray(queries)
+    ensure_kernel_query_dtype(data, queries)
+    starts = np.asarray(starts, dtype=np.int64)
+    widths = np.asarray(widths, dtype=np.int64)
+    out = np.empty(starts.shape, dtype=np.int64)
+    return _kernel("search.validated", queries, starts)(
+        data, queries, starts, widths, out
+    )

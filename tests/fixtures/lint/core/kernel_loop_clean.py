@@ -1,0 +1,28 @@
+"""Lint fixture: lane-loop-free variants that must produce zero findings.
+
+This file is never imported, only parsed.
+"""
+
+import numpy as np
+
+
+def lookup_batch_vectorised(data, queries):
+    # whole-batch array pass: the sanctioned non-kernel shape
+    return np.searchsorted(data, queries, side="left").astype(np.int64)
+
+
+def per_shard_chunks(spans, chunks):
+    # looping over shard spans (not lanes) is orchestration, not a kernel
+    for a, b in spans:
+        chunks.append((a, b))
+    return chunks
+
+
+def per_row_build(rows):
+    # generic build-time record iteration: not query/key lane traffic
+    return [r.cost for r in rows]
+
+
+def count_bounds(num_queries, n_keys):
+    # count-like names must not trip the query/key heuristic
+    return [i for i in range(num_queries)] + [n_keys]

@@ -1,0 +1,30 @@
+"""Lint fixture: RPR5xx unregistered-lane-loop violations.
+
+Each offending line carries a trailing ``# expect: RPRxxx`` marker;
+``tests/test_analysis.py`` asserts the linter reports exactly those.
+This file is never imported, only parsed.
+"""
+
+import numpy as np
+
+
+def lookup_batch_slow(index, queries):
+    out = np.empty(len(queries), dtype=np.int64)
+    for i, q in enumerate(queries):  # expect: RPR501
+        out[i] = index.lookup(q)
+    return out
+
+
+def predict_all(model, keys):
+    return [model.predict(k) for k in keys]  # expect: RPR501
+
+
+def windows_inline(data, queries):
+    return list(np.searchsorted(data, q) for q in queries)  # expect: RPR501
+
+
+def per_key_scan(keys):
+    total = 0
+    for k in keys[:128]:  # expect: RPR501
+        total += int(k)
+    return total

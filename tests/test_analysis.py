@@ -52,12 +52,14 @@ def findings_of(path: Path, **kw) -> list[tuple[int, str]]:
 # ----------------------------------------------------------------------
 VIOLATION_FIXTURES = [
     "core/dtype_violations.py",
+    "core/kernel_loop_violations.py",
     "engine/lock_violations.py",
     "engine/durability_violations.py",
     "serve/async_violations.py",
 ]
 CLEAN_FIXTURES = [
     "core/dtype_clean.py",
+    "core/kernel_loop_clean.py",
     "engine/lock_clean.py",
     "engine/durability_clean.py",
     "serve/async_clean.py",
