@@ -74,7 +74,14 @@ class _TrackedLock:
 
 
 class LockSanitizer:
-    """Asserts every ``WriteEvent`` is emitted under the write lock."""
+    """Asserts every ``WriteEvent`` is emitted under the right lock(s).
+
+    The engine write lock is two-level (:mod:`repro.engine.locks`):
+    exclusive mode licenses any event, while *shared* mode licenses only
+    per-shard content events — and then only when the emitting thread
+    also holds that shard's own lock.  Structure-level events
+    (``shard == -1``: refresh/retune) always require exclusive mode.
+    """
 
     def __init__(self, index) -> None:
         self.index = index
@@ -82,9 +89,14 @@ class LockSanitizer:
 
     @classmethod
     def install(cls, index) -> "LockSanitizer":
-        """Wrap ``index._write_lock`` and start checking events."""
+        """Start checking events against the engine lock's ownership.
+
+        An :class:`~repro.engine.locks.EngineWriteLock` tracks its own
+        per-thread ownership; any other lock object is wrapped in a
+        :class:`_TrackedLock` proxy so the check still works.
+        """
         san = cls(index)
-        if not isinstance(index._write_lock, _TrackedLock):
+        if not hasattr(index._write_lock, "held_by_current_thread"):
             index._write_lock = _TrackedLock(index._write_lock)
         index.add_write_listener(san._on_event)
         return san
@@ -95,10 +107,30 @@ class LockSanitizer:
         if isinstance(self.index._write_lock, _TrackedLock):
             self.index._write_lock = self.index._write_lock._inner
 
+    def _shard_lock_owned(self, shard_id: int) -> bool:
+        """Whether this thread owns the mutated shard's own lock."""
+        try:
+            shard = self.index.shards[shard_id]
+        except (IndexError, TypeError):
+            return False
+        lock = getattr(shard, "_lock", None)  # never create it here
+        return lock is not None and lock._is_owned()
+
     def _on_event(self, event) -> None:
         lock = self.index._write_lock
-        if isinstance(lock, _TrackedLock) \
-                and not lock.held_by_current_thread():
+        if getattr(lock, "held_exclusive", None) is not None:
+            if lock.held_exclusive():
+                return
+            if lock.held_shared() and event.shard >= 0 \
+                    and self._shard_lock_owned(event.shard):
+                return
+            self.violations += 1
+            raise SanitizerError(
+                f"WriteEvent({event.kind!r}, shard={event.shard}) emitted "
+                "without holding the required locks: exclusive engine "
+                "mode, or shared mode plus the mutated shard's own lock "
+                "(RPR201/RPR202/RPR203 runtime check)")
+        if not lock.held_by_current_thread():
             self.violations += 1
             raise SanitizerError(
                 f"WriteEvent({event.kind!r}, shard={event.shard}) emitted "

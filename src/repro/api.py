@@ -510,16 +510,29 @@ class Index:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def serve(self, **server_opts) -> "IndexServer":
-        """A configured asyncio :class:`~repro.serve.server.IndexServer`.
+    def serve(self, addr=None, *, net_workers: int = 0,
+              max_frame: int | None = None, **server_opts):
+        """A configured serving front end (in-process or TCP).
 
-        Keyword options pass straight through (``max_batch``,
-        ``max_wait_us``, ``point_cache``, ``range_cache``,
-        ``max_inflight``, ``retune_interval``, …); ``workers`` defaults
-        to the build config's value.  Use as an async context manager::
+        Without ``addr`` this returns the asyncio
+        :class:`~repro.serve.server.IndexServer`; keyword options pass
+        straight through (``max_batch``, ``max_wait_us``,
+        ``point_cache``, ``range_cache``, ``max_inflight``,
+        ``retune_interval``, …) and ``workers`` defaults to the build
+        config's value.  Use as an async context manager::
 
             async with index.serve(retune_interval=30.0) as server:
                 position = await server.lookup(q)
+
+        With ``addr=(host, port)`` the same server is wrapped in a
+        :class:`~repro.net.server.NetServer` speaking the framed binary
+        protocol (:mod:`repro.net`); ``port=0`` binds an ephemeral
+        port, ``net_workers=N`` forks N shared-memory read-worker
+        processes, and closing the net server closes the inner one::
+
+            async with index.serve(addr=("127.0.0.1", 0)) as net:
+                async with repro.net.Client(*net.address) as client:
+                    position = await client.lookup(q)
 
         A durable index hands its manager to the server automatically,
         so awaited writes are acknowledged writes and
@@ -530,7 +543,20 @@ class Index:
         server_opts.setdefault("workers", self._config.workers)
         if self.durability is not None:
             server_opts.setdefault("durability", self.durability)
-        return IndexServer(self.engine, **server_opts)
+        server = IndexServer(self.engine, **server_opts)
+        if addr is None:
+            if net_workers:
+                raise ValueError("net_workers needs addr=(host, port)")
+            return server
+        from .net.protocol import DEFAULT_MAX_FRAME
+        from .net.server import NetServer
+
+        host, port = addr
+        return NetServer(
+            server, host, int(port), workers=net_workers,
+            max_frame=DEFAULT_MAX_FRAME if max_frame is None else max_frame,
+            own_server=True,
+        )
 
     # ------------------------------------------------------------------
     # introspection

@@ -1,0 +1,159 @@
+"""Two-level engine write lock: shared per-shard writers, exclusive structure.
+
+PR 3's engine-wide write lock serialised *every* mutation.  The
+networked serving tier wants concurrent writers on distinct shards, so
+the lock splits into two levels:
+
+* **shared** mode (:meth:`EngineWriteLock.shared`) — many holders at
+  once.  A shared holder may mutate shard *content* provided it also
+  holds that shard's own lock (``backend.lock``); the routing structure
+  (``shards`` list, ``offsets`` identity, split keys) is read-only.
+* **exclusive** mode (:meth:`acquire` / ``with lock:``) — one holder,
+  no shared holders.  Required for anything structural: splits, merges,
+  drains, retunes, checkpoint snapshots, routing refreshes.
+
+``acquire``/``release``/``__enter__``/``__exit__`` keep the exact API
+(and re-entrancy) of the ``threading.RLock`` they replace, so every
+existing ``with index._write_lock:`` site still means "stop the world".
+
+Fairness: a waiting exclusive acquirer blocks *new* shared entries
+(writer priority), so a stream of per-shard writers cannot starve a
+split.  Upgrades are forbidden — a thread holding only shared mode must
+release it before going exclusive (two upgraders would deadlock); the
+sharded engine's fast paths therefore decide exclusive-vs-shared before
+taking the lock and fall back by retrying, never by upgrading.  A
+thread already holding exclusive mode may re-enter in either mode.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["EngineWriteLock", "LockUpgradeError"]
+
+
+class LockUpgradeError(RuntimeError):
+    """A shared holder tried to acquire exclusive mode (would deadlock)."""
+
+
+class EngineWriteLock:
+    """Re-entrant shared/exclusive lock with exclusive-waiter priority."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._exclusive_owner: int | None = None
+        self._exclusive_depth = 0
+        #: per-thread shared re-entry depth, keyed by thread ident
+        self._shared: dict[int, int] = {}
+        self._exclusive_waiters = 0
+
+    # -- exclusive mode (drop-in RLock surface) ------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire exclusive mode (re-entrant; RLock-compatible API)."""
+        me = threading.get_ident()
+        deadline = None
+        if timeout is not None and timeout >= 0:
+            deadline = _monotonic() + timeout
+        with self._cond:
+            if self._exclusive_owner == me:
+                self._exclusive_depth += 1
+                return True
+            if self._shared.get(me, 0):
+                raise LockUpgradeError(
+                    "cannot upgrade a shared engine-lock hold to exclusive; "
+                    "release shared mode and retry the structural path")
+            self._exclusive_waiters += 1
+            try:
+                while self._exclusive_owner is not None or self._shared:
+                    if not blocking:
+                        return False
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - _monotonic()
+                        if remaining <= 0:
+                            return False
+                    self._cond.wait(remaining)
+                self._exclusive_owner = me
+                self._exclusive_depth = 1
+                return True
+            finally:
+                self._exclusive_waiters -= 1
+
+    def release(self) -> None:
+        """Release one exclusive re-entry; wakes waiters at depth zero."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._exclusive_owner != me:
+                raise RuntimeError("cannot release an un-acquired lock")
+            self._exclusive_depth -= 1
+            if self._exclusive_depth == 0:
+                self._exclusive_owner = None
+                self._cond.notify_all()
+
+    def __enter__(self) -> "EngineWriteLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # -- shared mode ---------------------------------------------------
+    @contextmanager
+    def shared(self):
+        """Context manager granting shared (per-shard writer) mode.
+
+        Re-entrant per thread.  A thread holding exclusive mode passes
+        straight through (exclusive subsumes shared).  New first-time
+        shared entries yield to queued exclusive acquirers.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._exclusive_owner == me:
+                # exclusive subsumes shared: no state change needed
+                already_exclusive = True
+            else:
+                already_exclusive = False
+                while self._exclusive_owner is not None or (
+                    self._exclusive_waiters and not self._shared.get(me, 0)
+                ):
+                    self._cond.wait()
+                self._shared[me] = self._shared.get(me, 0) + 1
+        try:
+            yield self
+        finally:
+            if not already_exclusive:
+                with self._cond:
+                    depth = self._shared[me] - 1
+                    if depth:
+                        self._shared[me] = depth
+                    else:
+                        del self._shared[me]
+                        if not self._shared:
+                            self._cond.notify_all()
+
+    # -- introspection (sanitizers, tests) -----------------------------
+    def held_exclusive(self) -> bool:
+        """True when the calling thread owns exclusive mode."""
+        return self._exclusive_owner == threading.get_ident()
+
+    def held_shared(self) -> bool:
+        """True when the calling thread holds shared (or exclusive) mode."""
+        me = threading.get_ident()
+        return self._exclusive_owner == me or bool(self._shared.get(me, 0))
+
+    def held_by_current_thread(self) -> bool:
+        """Either mode held by the calling thread (sanitizer surface)."""
+        return self.held_shared()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineWriteLock(exclusive={self._exclusive_owner}, "
+            f"shared={len(self._shared)}, waiters={self._exclusive_waiters})"
+        )
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()

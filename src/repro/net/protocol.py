@@ -1,0 +1,280 @@
+"""Length-prefixed binary wire protocol for the serving tier.
+
+A **frame** is ``b"RP" + version(1) + u32 big-endian payload length +
+payload``; the payload is one value in a small TLV encoding (msgpack is
+not a baked-in dependency, and the subset below is all the protocol
+needs):
+
+====  =========  =======================================================
+tag   type       payload
+====  =========  =======================================================
+0x00  None       empty
+0x01  bool       one byte, 0 or 1
+0x02  int        minimal-length big-endian two's complement (any size)
+0x03  float      8-byte IEEE-754 double
+0x04  str        UTF-8 bytes
+0x05  bytes      raw
+0x06  list       concatenated packed items
+0x07  dict       concatenated packed (key, value) pairs
+0x08  ndarray    packed dtype string + packed shape list + raw buffer
+====  =========  =======================================================
+
+Every element is ``tag(1) + u32 length + payload``, so a decoder always
+knows how many bytes to expect before touching them — the property that
+makes the incremental :class:`FrameDecoder` safe against truncated
+frames, garbage bytes and slowloris peers: nothing is interpreted until
+the full frame has arrived, and any malformed byte raises
+:class:`ProtocolError` identifying exactly what was wrong.  Requests and
+responses are plain dicts (``{"op": ..., "id": ..., ...}`` — see
+:mod:`repro.net.server` for the op table).
+
+Integers use arbitrary-precision encoding because query keys span the
+full uint64 domain *and* clients may probe outside it (the server
+clamps, exactly as the in-process path does); floats and numpy scalars
+round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME",
+    "ProtocolError",
+    "pack",
+    "unpack",
+    "encode_frame",
+    "FrameDecoder",
+]
+
+MAGIC = b"RP"
+VERSION = 1
+#: frame header: magic(2) + version(1) + payload length(4)
+HEADER_SIZE = 7
+#: refuse frames above this (a garbage length prefix must not make the
+#: server try to buffer gigabytes for one connection)
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+_T_NONE, _T_BOOL, _T_INT, _T_FLOAT = 0x00, 0x01, 0x02, 0x03
+_T_STR, _T_BYTES, _T_LIST, _T_DICT, _T_ARRAY = 0x04, 0x05, 0x06, 0x07, 0x08
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or TLV payload (reject the connection loudly)."""
+
+
+# ----------------------------------------------------------------------
+# TLV values
+# ----------------------------------------------------------------------
+def _element(tag: int, payload: bytes, out: list) -> None:
+    out.append(bytes((tag,)))
+    out.append(_U32.pack(len(payload)))
+    out.append(payload)
+
+
+def _pack_into(value, out: list) -> None:
+    if value is None:
+        _element(_T_NONE, b"", out)
+    elif isinstance(value, (bool, np.bool_)):
+        _element(_T_BOOL, b"\x01" if value else b"\x00", out)
+    elif isinstance(value, (int, np.integer)):
+        value = int(value)
+        length = max(1, (value.bit_length() + 8) // 8)  # +1 sign bit
+        _element(_T_INT, value.to_bytes(length, "big", signed=True), out)
+    elif isinstance(value, (float, np.floating)):
+        _element(_T_FLOAT, _F64.pack(float(value)), out)
+    elif isinstance(value, str):
+        _element(_T_STR, value.encode("utf-8"), out)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        _element(_T_BYTES, bytes(value), out)
+    elif isinstance(value, np.ndarray):
+        if value.dtype.hasobject:
+            raise ProtocolError("cannot pack object-dtype arrays")
+        sub: list = []
+        _pack_into(value.dtype.str, sub)
+        _pack_into(list(value.shape), sub)
+        _pack_into(np.ascontiguousarray(value).tobytes(), sub)
+        _element(_T_ARRAY, b"".join(sub), out)
+    elif isinstance(value, (list, tuple)):
+        sub = []
+        for item in value:
+            _pack_into(item, sub)
+        _element(_T_LIST, b"".join(sub), out)
+    elif isinstance(value, dict):
+        sub = []
+        for k, v in value.items():
+            _pack_into(k, sub)
+            _pack_into(v, sub)
+        _element(_T_DICT, b"".join(sub), out)
+    else:
+        raise ProtocolError(
+            f"cannot pack {type(value).__name__} onto the wire")
+
+
+def pack(value) -> bytes:
+    """Encode one value into TLV bytes (see the module table)."""
+    out: list = []
+    _pack_into(value, out)
+    return b"".join(out)
+
+
+def _unpack_one(buf: memoryview, offset: int):
+    """Decode the element at ``offset``; returns (value, next offset)."""
+    if offset + 5 > len(buf):
+        raise ProtocolError("truncated TLV element header")
+    tag = buf[offset]
+    (length,) = _U32.unpack_from(buf, offset + 1)
+    start = offset + 5
+    end = start + length
+    if end > len(buf):
+        raise ProtocolError(
+            f"TLV element claims {length} bytes but only "
+            f"{len(buf) - start} remain")
+    payload = buf[start:end]
+    if tag == _T_NONE:
+        if length:
+            raise ProtocolError("None element with a non-empty payload")
+        return None, end
+    if tag == _T_BOOL:
+        if length != 1 or payload[0] not in (0, 1):
+            raise ProtocolError("malformed bool element")
+        return bool(payload[0]), end
+    if tag == _T_INT:
+        if length == 0:
+            raise ProtocolError("empty int element")
+        return int.from_bytes(payload, "big", signed=True), end
+    if tag == _T_FLOAT:
+        if length != 8:
+            raise ProtocolError("float element must be 8 bytes")
+        return _F64.unpack(payload)[0], end
+    if tag == _T_STR:
+        try:
+            return str(payload, "utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid UTF-8 in str element: {exc}") \
+                from None
+    if tag == _T_BYTES:
+        return bytes(payload), end
+    if tag == _T_LIST:
+        items = []
+        pos = start
+        while pos < end:
+            item, pos = _unpack_one(buf[:end], pos)
+            items.append(item)
+        return items, end
+    if tag == _T_DICT:
+        mapping = {}
+        pos = start
+        while pos < end:
+            key, pos = _unpack_one(buf[:end], pos)
+            if pos >= end:
+                raise ProtocolError("dict element with a dangling key")
+            value, pos = _unpack_one(buf[:end], pos)
+            mapping[key] = value
+        return mapping, end
+    if tag == _T_ARRAY:
+        pos = start
+        dtype_str, pos = _unpack_one(buf[:end], pos)
+        shape, pos = _unpack_one(buf[:end], pos)
+        raw, pos = _unpack_one(buf[:end], pos)
+        if pos != end:
+            raise ProtocolError("trailing bytes inside ndarray element")
+        if not isinstance(dtype_str, str) or not isinstance(shape, list) \
+                or not isinstance(raw, bytes):
+            raise ProtocolError("malformed ndarray element")
+        try:
+            dtype = np.dtype(dtype_str)
+        except TypeError as exc:
+            raise ProtocolError(f"bad ndarray dtype {dtype_str!r}: {exc}") \
+                from None
+        if dtype.hasobject:
+            raise ProtocolError("object-dtype arrays are not decodable")
+        count = 1
+        for dim in shape:
+            if not isinstance(dim, int) or dim < 0:
+                raise ProtocolError(f"bad ndarray shape {shape!r}")
+            count *= dim
+        if count * dtype.itemsize != len(raw):
+            raise ProtocolError(
+                f"ndarray payload is {len(raw)} bytes, expected "
+                f"{count * dtype.itemsize} for shape {shape} {dtype}")
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy(), end
+    raise ProtocolError(f"unknown TLV tag 0x{tag:02x}")
+
+
+def unpack(data: bytes):
+    """Decode one TLV value; rejects trailing bytes."""
+    value, end = _unpack_one(memoryview(data), 0)
+    if end != len(data):
+        raise ProtocolError(
+            f"{len(data) - end} trailing bytes after the TLV value")
+    return value
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+def encode_frame(value, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """One wire frame carrying ``value`` (header + TLV payload)."""
+    payload = pack(value)
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte frame limit")
+    return MAGIC + bytes((VERSION,)) + _U32.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder for one connection's byte stream.
+
+    Feed it whatever the socket produced; it yields every complete
+    frame's decoded value and buffers the rest.  All framing violations
+    raise :class:`ProtocolError` immediately — the caller must treat
+    the stream as poisoned and drop the connection (request/TLV-level
+    errors never corrupt neighbouring connections: each connection owns
+    its own decoder).
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buf = bytearray()
+
+    def __len__(self) -> int:
+        """Bytes currently buffered (tests / slowloris accounting)."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list:
+        """Buffer ``data``; returns the values of every completed frame."""
+        self._buf.extend(data)
+        values = []
+        while True:
+            if len(self._buf) < HEADER_SIZE:
+                break
+            if self._buf[:2] != MAGIC:
+                raise ProtocolError(
+                    f"bad frame magic {bytes(self._buf[:2])!r} "
+                    f"(expected {MAGIC!r})")
+            if self._buf[2] != VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {self._buf[2]} "
+                    f"(speaking {VERSION})")
+            (length,) = _U32.unpack_from(self._buf, 3)
+            if length > self.max_frame:
+                raise ProtocolError(
+                    f"frame claims {length} bytes, above the "
+                    f"{self.max_frame}-byte limit")
+            end = HEADER_SIZE + length
+            if len(self._buf) < end:
+                break  # half a frame (slowloris): wait for more bytes
+            payload = bytes(self._buf[HEADER_SIZE:end])
+            del self._buf[:end]
+            values.append(unpack(payload))
+        return values

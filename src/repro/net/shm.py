@@ -1,0 +1,223 @@
+"""Engine state export/attach over ``multiprocessing.shared_memory``.
+
+Read-worker processes need the engine's key/slot arrays without copying
+them per worker.  The persisted segment codecs
+(:mod:`repro.engine.persist`) already render every shard into
+``(manifest entry, arrays)`` with no model refit on decode, so the
+export here is exactly a checkpoint aimed at memory instead of disk:
+
+* :func:`export_index` — under the exclusive engine lock, snapshot
+  every shard via :func:`~repro.engine.persist.encode_shard_state`
+  plus the routing offsets and global key array, and lay all arrays
+  into **one** shared-memory block with a name/dtype/shape/offset
+  table.  The returned :class:`ShmExport` owns the block.
+* :func:`attach_index` — in a worker, open the block by name, rebuild
+  numpy views over its buffer, and decode a live
+  :class:`~repro.engine.sharded.ShardedIndex` via
+  :func:`~repro.engine.persist._decode_shard`.
+
+Mutation safety: workers apply the writer's ``WriteEvent`` stream to
+their attached index (read-your-writes), so attached arrays must never
+be mutated *in place* where another worker could see it.  Arrays whose
+backends mutate them in place (gapped slots/occupancy, fenwick deltas)
+are **copied** at attach; everything else (base key arrays, model and
+layer state) attaches as a **read-only view** — the write paths of
+those structures allocate fresh arrays, and the read-only flag turns
+any regression into a loud ``ValueError`` instead of cross-process
+corruption.
+
+CPython 3.11 wart: a ``SharedMemory(name=...)`` attach registers the
+segment with the ``resource_tracker``, which would tear the segment's
+registration (and eventually the segment) away from the exporting
+process; :func:`attach_index` suppresses that registration so the
+exporter keeps sole ownership of the segment lifetime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.persist import (
+    _config_from_dict,
+    _config_to_dict,
+    _decode_shard,
+    encode_shard_state,
+)
+from ..engine.sharded import ShardedIndex
+
+__all__ = ["ShmExport", "export_index", "attach_index"]
+
+#: array names that are safe to view in place (write paths allocate
+#: fresh arrays); every other array is copied at attach because its
+#: backend mutates it in place
+_VIEW_SAFE_NAMES = frozenset({"keys"})
+_VIEW_SAFE_PREFIXES = ("model_", "layer_")
+
+_ALIGN = 64
+
+
+def _view_safe(name: str) -> bool:
+    return name in _VIEW_SAFE_NAMES or name.startswith(_VIEW_SAFE_PREFIXES)
+
+
+class ShmExport:
+    """One shared-memory snapshot of an engine (owned by the exporter)."""
+
+    def __init__(self, shm, manifest: dict) -> None:
+        self.shm = shm
+        #: plain-python description of the block: pass it to workers
+        #: (picklable) and hand it to :func:`attach_index`
+        self.manifest = manifest
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def size(self) -> int:
+        return self.shm.size
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the exporter's mapping (and destroy the segment)."""
+        self.shm.close()
+        if unlink:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # already unlinked elsewhere
+                pass
+
+    def __enter__(self) -> "ShmExport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def export_index(index: ShardedIndex) -> ShmExport:
+    """Snapshot ``index`` into one shared-memory block (exclusive lock).
+
+    The snapshot is taken under the engine write lock's exclusive mode,
+    so it is a point-in-time image no concurrent writer can smear; the
+    write events the single writer applies *after* this snapshot are
+    what the control channel replays to workers.
+    """
+    from multiprocessing import shared_memory
+
+    with index._write_lock:
+        arrays: list[tuple[str, np.ndarray]] = []
+        shard_entries: list[dict | None] = []
+        for s, shard in enumerate(index.shards):
+            entry, shard_arrays = encode_shard_state(shard)
+            shard_entries.append(entry)
+            for name, arr in shard_arrays.items():
+                arrays.append((f"s{s}/{name}", arr))
+        arrays.append(("engine/offsets", index.offsets.copy()))
+        arrays.append(("engine/keys", np.ascontiguousarray(index.keys)))
+        engine_meta = {
+            "name": index.name,
+            "backend": index.backend_kind,
+            "num_shards": index.num_shards,
+            "target_shard_keys": index._target_shard_keys,
+            "key_dtype": index.key_dtype.str,
+            "config": _config_to_dict(index.config),
+        }
+
+    table: dict[str, dict] = {}
+    offset = 0
+    for name, arr in arrays:
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        table[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": offset,
+        }
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    try:
+        for name, arr in arrays:
+            spec = table[name]
+            dest = np.frombuffer(
+                shm.buf, dtype=arr.dtype, count=arr.size,
+                offset=spec["offset"],
+            ).reshape(arr.shape)
+            dest[...] = arr
+        manifest = {
+            "shm": shm.name,
+            "size": shm.size,
+            "table": table,
+            "engine": engine_meta,
+            "shards": shard_entries,
+        }
+        return ShmExport(shm, manifest)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+
+
+def _attach_array(shm, spec: dict, copy: bool) -> np.ndarray:
+    dtype = np.dtype(spec["dtype"])
+    count = 1
+    for dim in spec["shape"]:
+        count *= dim
+    arr = np.frombuffer(
+        shm.buf, dtype=dtype, count=count, offset=spec["offset"]
+    ).reshape(spec["shape"])
+    if copy:
+        return arr.copy()
+    view = arr.view()
+    view.flags.writeable = False
+    return view
+
+
+def attach_index(manifest: dict):
+    """Rebuild a live engine over an exported block; ``(index, shm)``.
+
+    The caller must keep the returned ``shm`` handle alive as long as
+    the index is in use (the view-attached arrays borrow its buffer)
+    and must *not* unlink it — the exporter owns the segment.
+    """
+    from multiprocessing import shared_memory
+
+    from multiprocessing import resource_tracker
+
+    # keep this process's tracker out of it: the exporter owns the
+    # segment's lifetime, and a worker's tracker claim would tear the
+    # registration away from under the exporter's eventual unlink
+    # (CPython's attach path grew no track=False until 3.13)
+    original_register = resource_tracker.register
+
+    def _no_shm_register(name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original_register(name, rtype)
+
+    resource_tracker.register = _no_shm_register
+    try:
+        shm = shared_memory.SharedMemory(name=manifest["shm"])
+    finally:
+        resource_tracker.register = original_register
+
+    table = manifest["table"]
+    shards = []
+    for s, entry in enumerate(manifest["shards"]):
+        if entry is None:
+            shards.append(None)
+            continue
+        prefix = f"s{s}/"
+        arrays = {
+            name[len(prefix):]: _attach_array(
+                shm, spec, copy=not _view_safe(name[len(prefix):]))
+            for name, spec in table.items() if name.startswith(prefix)
+        }
+        shards.append(_decode_shard(entry, arrays))
+    offsets = _attach_array(shm, table["engine/offsets"], copy=True)
+    keys = _attach_array(shm, table["engine/keys"], copy=False)
+    meta = manifest["engine"]
+    index = ShardedIndex(
+        shards, offsets, keys, name=meta["name"],
+        config=_config_from_dict(meta["config"]),
+        backend=meta["backend"], auto_tune=False,
+    )
+    index._target_shard_keys = int(meta["target_shard_keys"])
+    index.source = "loaded"
+    return index, shm

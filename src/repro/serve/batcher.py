@@ -165,14 +165,29 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     async def lookup(self, q) -> int:
         """Global lower-bound position of ``q`` (batched)."""
-        check_query(q)
-        return await self._submit(Request("lookup", q))
+        return await self.submit_lookup(q)
 
     async def range(self, lo, hi) -> tuple[int, int]:
         """``[first, last)`` global positions of ``lo <= key < hi`` (batched)."""
+        return await self.submit_range(lo, hi)
+
+    def submit_lookup(self, q) -> asyncio.Future:
+        """Queue a lookup, returning its future *synchronously*.
+
+        The network front end (:mod:`repro.net.server`) calls this
+        straight from its socket-read loop: every request decoded from
+        one TCP read joins the current batch without an intervening
+        task switch, so one read syscall's worth of pipelined requests
+        becomes one executor dispatch.
+        """
+        check_query(q)
+        return self._submit(Request("lookup", q))
+
+    def submit_range(self, lo, hi) -> asyncio.Future:
+        """Queue a range count, returning its future synchronously."""
         check_query(lo)
         check_query(hi)
-        return await self._submit(Request("range", lo, hi))
+        return self._submit(Request("range", lo, hi))
 
     def _submit(self, request: Request) -> asyncio.Future:
         loop = asyncio.get_running_loop()

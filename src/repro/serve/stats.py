@@ -11,8 +11,72 @@ renders the lot into one flat dict the CLI and benchmarks print.
 from __future__ import annotations
 
 from collections import Counter, deque
+from dataclasses import dataclass, field
 
 import numpy as np
+
+
+@dataclass
+class ConnectionStats:
+    """Per-connection counters the network front end maintains.
+
+    One record per accepted TCP connection (kept after close so a
+    post-mortem snapshot still shows what the peer did).  ``errors``
+    counts per-request failures answered with an error frame;
+    ``protocol_errors`` counts framing violations, which also close
+    the connection.
+    """
+
+    peer: str = "?"
+    requests: int = 0
+    responses: int = 0
+    writes: int = 0
+    errors: int = 0
+    protocol_errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    open: bool = True
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "peer": self.peer, "requests": self.requests,
+            "responses": self.responses, "writes": self.writes,
+            "errors": self.errors,
+            "protocol_errors": self.protocol_errors,
+            "bytes_in": self.bytes_in, "bytes_out": self.bytes_out,
+            "open": self.open,
+        }
+
+
+@dataclass
+class WorkerStats:
+    """Per-read-worker counters the dispatcher maintains.
+
+    ``rerouted`` counts frames re-dispatched elsewhere after the worker
+    died mid-flight; ``events`` counts write events fanned out to it.
+    """
+
+    pid: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    rerouted: int = 0
+    events: int = 0
+    alive: bool = True
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "pid": self.pid, "dispatched": self.dispatched,
+            "completed": self.completed, "rerouted": self.rerouted,
+            "events": self.events, "alive": self.alive,
+        }
+
+
+@dataclass
+class _NetStats:
+    """Roll-up of the per-connection / per-worker maps."""
+
+    connections: dict = field(default_factory=dict)
+    workers: dict = field(default_factory=dict)
 
 
 class ServerStats:
@@ -36,6 +100,33 @@ class ServerStats:
         self.checkpoints = 0
         self.background_checkpoints = 0
         self.background_checkpoint_errors = 0
+        #: per-connection / per-worker counter maps (network front end)
+        self.connections: dict[int, ConnectionStats] = {}
+        self.workers: dict[int, WorkerStats] = {}
+        self._next_conn_id = 0
+
+    # ------------------------------------------------------------------
+    # network front-end feeds
+    # ------------------------------------------------------------------
+    def open_connection(self, peer: str) -> tuple[int, ConnectionStats]:
+        """Register an accepted connection; returns (id, its counters)."""
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        rec = ConnectionStats(peer=peer)
+        self.connections[conn_id] = rec
+        return conn_id, rec
+
+    def close_connection(self, conn_id: int) -> None:
+        """Mark a connection closed (its counters stay readable)."""
+        rec = self.connections.get(conn_id)
+        if rec is not None:
+            rec.open = False
+
+    def register_worker(self, worker_id: int, pid: int) -> WorkerStats:
+        """Register a read-worker process under its dispatcher id."""
+        rec = WorkerStats(pid=pid)
+        self.workers[worker_id] = rec
+        return rec
 
     # ------------------------------------------------------------------
     # hot-path feeds
@@ -128,6 +219,24 @@ class ServerStats:
             "checkpoints": self.checkpoints,
             "background_checkpoints": self.background_checkpoints,
             "background_checkpoint_errors": self.background_checkpoint_errors,
+            "connections": len(self.connections),
+            "open_connections": sum(
+                1 for c in self.connections.values() if c.open),
+            "protocol_errors": sum(
+                c.protocol_errors for c in self.connections.values()),
+            "net_workers": len(self.workers),
+            "live_workers": sum(
+                1 for w in self.workers.values() if w.alive),
+            "rerouted": sum(w.rerouted for w in self.workers.values()),
+        }
+
+    def net_snapshot(self) -> dict[str, object]:
+        """Per-connection and per-worker counter maps, keyed by id."""
+        return {
+            "connections": {
+                cid: c.to_dict() for cid, c in self.connections.items()},
+            "workers": {
+                wid: w.to_dict() for wid, w in self.workers.items()},
         }
 
     def describe(self) -> str:  # pragma: no cover - formatting aid

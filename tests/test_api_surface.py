@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.engine",
     "repro.engine.persist",
     "repro.serve",
+    "repro.net",
     "repro.analysis",
 ]
 

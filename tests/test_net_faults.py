@@ -1,0 +1,181 @@
+"""Fault injection for the network serving tier (ISSUE 9 satellite).
+
+Two failure families, both required to produce *zero wrong answers*:
+
+* a read-worker process SIGKILLed while requests are in flight — the
+  dispatcher must reroute its work to survivors (or answer inline once
+  none remain) and every rerouted request must still match the
+  ``np.searchsorted`` oracle;
+* a client SIGKILLed mid-pipeline (a real subprocess, as in the PR-6
+  durability crash tests) — the server must drop the orphaned answers
+  and release every backpressure slot it claimed for them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.net import Client
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(11)
+    return np.sort(np.unique(
+        rng.integers(0, 1 << 40, 6000, dtype=np.uint64)))
+
+
+def _oracle(keys, qs):
+    return [int(r) for r in np.searchsorted(
+        keys, np.asarray(qs, dtype=np.uint64), side="left")]
+
+
+# ----------------------------------------------------------------------
+# read-worker death
+# ----------------------------------------------------------------------
+def test_sigkill_worker_mid_batch_reroutes_with_zero_wrong_answers(keys):
+    async def scenario():
+        index = repro.Index.build(keys, num_shards=2)
+        net = index.serve(addr=("127.0.0.1", 0), net_workers=2)
+        await net.start()
+        try:
+            async with Client(*net.address, timeout=60) as client:
+                assert await client.ping() is True
+                victim = net.pool._workers[0]
+                # freeze the victim so its dispatched requests stay
+                # in flight, pipeline a burst, then murder it
+                os.kill(victim.proc.pid, signal.SIGSTOP)
+                rng = np.random.default_rng(3)
+                qs = [int(k) for k in rng.choice(keys, 48)]
+                tasks = [asyncio.create_task(client.lookup(q)) for q in qs]
+                for _ in range(100):  # until the victim holds work
+                    await asyncio.sleep(0.01)
+                    if victim.inflight:
+                        break
+                assert victim.inflight, "no requests reached the victim"
+                os.kill(victim.proc.pid, signal.SIGKILL)
+                answers = await asyncio.wait_for(
+                    asyncio.gather(*tasks), timeout=60)
+                assert answers == _oracle(keys, qs)  # zero wrong answers
+                snap = await client.stats()
+                assert snap["live_workers"] == 1
+                assert snap["rerouted"] >= 1
+                # the survivor still applies fresh write events
+                fresh = int(keys[-1]) + 1000
+                await client.insert(fresh)
+                assert await client.lookup(fresh) == len(keys)
+        finally:
+            await net.close()
+
+    asyncio.run(scenario())
+
+
+def test_all_workers_dead_falls_back_inline(keys):
+    async def scenario():
+        index = repro.Index.build(keys, num_shards=2)
+        net = index.serve(addr=("127.0.0.1", 0), net_workers=2)
+        await net.start()
+        try:
+            async with Client(*net.address, timeout=60) as client:
+                assert await client.ping() is True
+                pids = [w.proc.pid for w in net.pool._workers]
+                os.kill(pids[0], signal.SIGSTOP)
+                qs = [int(k) for k in keys[::500]]
+                tasks = [asyncio.create_task(client.lookup(q)) for q in qs]
+                await asyncio.sleep(0.05)
+                for pid in pids:  # no survivors at all
+                    os.kill(pid, signal.SIGKILL)
+                answers = await asyncio.wait_for(
+                    asyncio.gather(*tasks), timeout=60)
+                assert answers == _oracle(keys, qs)
+                snap = await client.stats()
+                assert snap["live_workers"] == 0
+                # brand-new reads are answered inline by the parent
+                assert await client.lookup(int(keys[7])) == 7
+        finally:
+            await net.close()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# client death mid-pipeline
+# ----------------------------------------------------------------------
+#: a real client process: connect, pipeline `count` distinct lookups,
+#: drop a marker file, then hang until the parent SIGKILLs it
+_CHILD = """
+import socket, sys, time
+sys.path.insert(0, sys.argv[4])
+from repro.net.protocol import encode_frame
+
+port, count, marker = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+sock = socket.create_connection(("127.0.0.1", port))
+burst = b"".join(
+    encode_frame({"op": "lookup", "id": i, "q": 1234567 + 17 * i})
+    for i in range(count)
+)
+sock.sendall(burst)
+with open(marker, "w") as fh:
+    fh.write("sent")
+time.sleep(120)
+"""
+
+
+def test_sigkilled_client_leaks_no_slots(keys, tmp_path):
+    async def scenario():
+        index = repro.Index.build(keys, num_shards=2)
+        # a small slot pool makes any leak visible immediately
+        net = index.serve(addr=("127.0.0.1", 0), max_inflight=8)
+        await net.start()
+        server = net.server
+        try:
+            marker = tmp_path / "sent"
+            child = subprocess.Popen(
+                [sys.executable, "-c", _CHILD, str(net.port), "64",
+                 str(marker), str(SRC)],
+            )
+            try:
+                deadline = time.monotonic() + 30
+                while not marker.exists():
+                    assert time.monotonic() < deadline, "client never sent"
+                    await asyncio.sleep(0.01)
+                # the burst is in the server's socket; let it start
+                # claiming slots, then kill the client mid-pipeline
+                await asyncio.sleep(0.05)
+                os.kill(child.pid, signal.SIGKILL)
+                child.wait(timeout=30)
+            finally:
+                if child.poll() is None:  # pragma: no cover - cleanup
+                    child.kill()
+                    child.wait(timeout=30)
+            # orphaned answers are dropped, and every claimed slot
+            # comes back: the pool refills to exactly max_inflight
+            deadline = time.monotonic() + 30
+            while server._slots != server.max_inflight:
+                assert time.monotonic() < deadline, (
+                    f"slots leaked: {server._slots} of "
+                    f"{server.max_inflight} available")
+                await asyncio.sleep(0.02)
+            # and the server still serves new connections at full tilt
+            async with Client(*net.address, timeout=60) as client:
+                qs = [int(k) for k in keys[::250]]
+                answers = await asyncio.gather(
+                    *[client.lookup(q) for q in qs])
+                assert answers == _oracle(keys, qs)
+                assert server._slots == server.max_inflight
+        finally:
+            await net.close()
+
+    asyncio.run(scenario())

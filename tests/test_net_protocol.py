@@ -1,0 +1,370 @@
+"""Wire-protocol contract (ISSUE 9 satellite): property-based
+round-trips through the TLV codec and frame decoder, plus adversarial
+peers — truncated frames, oversized length prefixes, garbage bytes,
+slowloris drip-feeds — all rejected loudly, with neighbouring
+connections unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    HEADER_SIZE,
+    MAGIC,
+    VERSION,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    pack,
+    unpack,
+)
+
+
+# ----------------------------------------------------------------------
+# value strategies (everything the op table can put on the wire)
+# ----------------------------------------------------------------------
+_DTYPES = [np.dtype(s) for s in ("u8", "i8", "i4", "u2", "f8", "f4")]
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: exercises arbitrary-precision ints
+    st.floats(),  # nan/inf included; compared nan-aware below
+    st.text(max_size=32),
+    st.binary(max_size=48),
+)
+
+arrays = st.sampled_from(_DTYPES).flatmap(
+    lambda dt: hnp.arrays(
+        dtype=dt, shape=hnp.array_shapes(max_dims=2, max_side=6))
+)
+
+values = st.recursive(
+    scalars | arrays,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.one_of(st.text(max_size=8), st.integers(2, 1 << 70)),
+            children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def assert_same(a, b) -> None:
+    """Deep equality that is exact about types, nan-aware for floats."""
+    if isinstance(a, np.ndarray):
+        assert isinstance(b, np.ndarray)
+        assert a.dtype == b.dtype and a.shape == b.shape
+        if a.dtype.kind == "f":
+            assert np.array_equal(a, b, equal_nan=True)
+        else:
+            assert np.array_equal(a, b)
+    elif isinstance(a, list):
+        assert isinstance(b, list) and len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_same(x, y)
+    elif isinstance(a, dict):
+        assert isinstance(b, dict) and set(a) == set(b)
+        for k in a:
+            assert_same(a[k], b[k])
+    elif isinstance(a, bool):
+        assert isinstance(b, bool) and a == b
+    elif isinstance(a, float):
+        assert isinstance(b, float)
+        assert a == b or (np.isnan(a) and np.isnan(b))
+    else:
+        assert type(a) is type(b) and a == b
+
+
+def _el(tag: int, payload: bytes) -> bytes:
+    """Hand-roll one TLV element (for crafting malformed ones)."""
+    return bytes((tag,)) + struct.pack(">I", len(payload)) + payload
+
+
+def _frame(payload: bytes) -> bytes:
+    """Hand-roll one frame around raw payload bytes."""
+    return MAGIC + bytes((VERSION,)) + struct.pack(">I", len(payload)) \
+        + payload
+
+
+# ----------------------------------------------------------------------
+# property-based round trips
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(values)
+def test_pack_unpack_roundtrip(value):
+    assert_same(value, unpack(pack(value)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(values, min_size=1, max_size=3),
+       st.integers(min_value=1, max_value=13))
+def test_chunked_stream_roundtrip(vals, chunk):
+    # arbitrary TCP segmentation: N frames fed in `chunk`-byte slices
+    # come out intact, in order, with an empty buffer at the end
+    stream = b"".join(encode_frame(v) for v in vals)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[i:i + chunk]))
+    assert len(decoder) == 0
+    assert len(out) == len(vals)
+    for a, b in zip(vals, out):
+        assert_same(a, b)
+
+
+def _min_signed_len(value: int) -> int:
+    length = 1
+    while True:
+        try:
+            value.to_bytes(length, "big", signed=True)
+            return length
+        except OverflowError:
+            length += 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers())
+def test_int_encoding_is_near_minimal_and_signed(value):
+    payload = pack(value)
+    assert unpack(payload) == value
+    body = payload[5:]
+    # near-minimal two's complement: at most one padding sign byte
+    assert _min_signed_len(value) <= len(body) <= _min_signed_len(value) + 1
+
+
+def test_scalar_types_survive_exactly():
+    assert unpack(pack(True)) is True
+    assert unpack(pack(False)) is False
+    assert type(unpack(pack(1))) is int  # 1 must not come back as True
+    for v in (0, -1, 2**64 - 1, 2**64, -(2**200), 2**200 + 17):
+        assert unpack(pack(v)) == v
+    assert unpack(pack(np.uint64(2**63))) == 2**63  # numpy scalars too
+    assert unpack(pack(np.float64(0.1))) == 0.1
+    assert unpack(pack((1, "two"))) == [1, "two"]  # tuples become lists
+
+
+def test_unpackable_values_are_refused():
+    with pytest.raises(ProtocolError, match="cannot pack"):
+        pack(object())
+    with pytest.raises(ProtocolError, match="object-dtype"):
+        pack(np.asarray([object()], dtype=object))
+
+
+# ----------------------------------------------------------------------
+# adversarial byte streams (decoder level)
+# ----------------------------------------------------------------------
+def test_bad_magic_rejected():
+    with pytest.raises(ProtocolError, match="magic"):
+        FrameDecoder().feed(b"XX" + bytes(16))
+
+
+def test_bad_version_rejected():
+    with pytest.raises(ProtocolError, match="version"):
+        FrameDecoder().feed(MAGIC + bytes((VERSION + 1,)) + bytes(16))
+
+
+def test_oversized_length_prefix_rejected():
+    header = MAGIC + bytes((VERSION,)) + struct.pack(
+        ">I", DEFAULT_MAX_FRAME + 1)
+    with pytest.raises(ProtocolError, match="limit"):
+        FrameDecoder().feed(header)
+    # a tighter per-connection limit is honoured before buffering
+    small = FrameDecoder(max_frame=64)
+    with pytest.raises(ProtocolError, match="limit"):
+        small.feed(MAGIC + bytes((VERSION,)) + struct.pack(">I", 65))
+    # ...and an in-limit frame still decodes on that decoder
+    fresh = FrameDecoder(max_frame=64)
+    assert fresh.feed(encode_frame("ok")) == ["ok"]
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ProtocolError, match="unknown TLV tag"):
+        FrameDecoder().feed(_frame(_el(0xFF, b"z")))
+
+
+def test_truncated_tlv_inside_frame_rejected():
+    # the element claims more bytes than the frame carries
+    bad = bytes((0x04,)) + struct.pack(">I", 100) + b"hi"
+    with pytest.raises(ProtocolError, match="remain"):
+        FrameDecoder().feed(_frame(bad))
+
+
+@pytest.mark.parametrize("payload, match", [
+    (_el(0x00, b"x"), "non-empty"),            # None with a payload
+    (_el(0x01, b"\x02"), "malformed bool"),    # bool outside {0, 1}
+    (_el(0x02, b""), "empty int"),             # zero-length int
+    (_el(0x03, b"\x00" * 4), "8 bytes"),       # half a float
+    (_el(0x04, b"\xff\xfe"), "UTF-8"),         # invalid utf-8 str
+    (_el(0x07, pack("dangling")), "dangling"),  # dict key, no value
+    (b"", "truncated TLV"),                    # empty frame payload
+    (pack(1) + pack(2), "trailing"),           # two values in one frame
+])
+def test_malformed_elements_rejected(payload, match):
+    with pytest.raises(ProtocolError, match=match):
+        FrameDecoder().feed(_frame(payload))
+
+
+def test_malformed_ndarray_rejected():
+    # 1 byte of data for a shape that needs 24
+    inner = pack("<u8") + pack([3]) + pack(b"\x00")
+    with pytest.raises(ProtocolError, match="expected"):
+        FrameDecoder().feed(_frame(_el(0x08, inner)))
+    inner = pack("not-a-dtype") + pack([1]) + pack(b"\x00" * 8)
+    with pytest.raises(ProtocolError, match="dtype"):
+        FrameDecoder().feed(_frame(_el(0x08, inner)))
+
+
+def test_slowloris_buffers_without_emitting():
+    # a byte-at-a-time peer gets nothing interpreted early, bounded
+    # buffering, and the full answer once the frame completes
+    frame = encode_frame({"op": "ping", "id": 1})
+    decoder = FrameDecoder()
+    for i in range(len(frame) - 1):
+        assert decoder.feed(frame[i:i + 1]) == []
+        assert len(decoder) == i + 1
+        assert len(decoder) <= HEADER_SIZE + decoder.max_frame
+    out = decoder.feed(frame[-1:])
+    assert out == [{"op": "ping", "id": 1}]
+    assert len(decoder) == 0
+
+
+def test_decoder_is_poisoned_after_one_bad_frame():
+    decoder = FrameDecoder()
+    with pytest.raises(ProtocolError):
+        decoder.feed(b"garbage-bytes")
+    # the stream stays poisoned: same rejection on every further feed
+    with pytest.raises(ProtocolError):
+        decoder.feed(encode_frame("fine"))
+
+
+# ----------------------------------------------------------------------
+# adversarial peers against a live server
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served_keys():
+    rng = np.random.default_rng(7)
+    return np.sort(np.unique(
+        rng.integers(0, 1 << 40, 4000, dtype=np.uint64)))
+
+
+def _run_against_server(served_keys, scenario):
+    import repro
+
+    async def main():
+        index = repro.Index.build(served_keys, num_shards=2)
+        net = index.serve(addr=("127.0.0.1", 0))
+        await net.start()
+        try:
+            await scenario(net)
+        finally:
+            await net.close()
+
+    asyncio.run(main())
+
+
+async def _read_error_frame(reader):
+    data = await asyncio.wait_for(reader.read(1 << 16), 10)
+    msgs = FrameDecoder().feed(data)
+    assert msgs, "expected an error frame before the close"
+    assert msgs[0]["ok"] is False
+    assert msgs[0]["error"] == "ProtocolError"
+    return msgs[0]
+
+
+def test_garbage_peer_rejected_neighbour_unaffected(served_keys):
+    from repro.net import Client
+
+    async def scenario(net):
+        host, port = net.address
+        async with Client(host, port) as good:
+            bad_r, bad_w = await asyncio.open_connection(host, port)
+            bad_w.write(b"\x00" * 64)  # zero bytes are not frames
+            await bad_w.drain()
+            msg = await _read_error_frame(bad_r)
+            assert "magic" in msg["message"]
+            eof = await asyncio.wait_for(bad_r.read(1 << 16), 10)
+            assert eof == b""  # the server hung up on the bad peer
+            bad_w.close()
+            # the neighbouring connection answers exactly as before
+            for i in (0, 17, len(served_keys) - 1):
+                assert await good.lookup(int(served_keys[i])) == i
+            snap = await good.stats()
+            assert snap["protocol_errors"] >= 1
+
+    _run_against_server(served_keys, scenario)
+
+
+def test_oversized_prefix_rejected_at_server(served_keys):
+    from repro.net import Client
+
+    async def scenario(net):
+        host, port = net.address
+        bad_r, bad_w = await asyncio.open_connection(host, port)
+        bad_w.write(MAGIC + bytes((VERSION,))
+                    + struct.pack(">I", net.max_frame + 1))
+        await bad_w.drain()
+        msg = await _read_error_frame(bad_r)
+        assert "limit" in msg["message"]
+        assert await asyncio.wait_for(bad_r.read(1 << 16), 10) == b""
+        bad_w.close()
+        async with Client(host, port) as good:
+            assert await good.ping() is True
+
+    _run_against_server(served_keys, scenario)
+
+
+def test_slowloris_peer_is_served_once_complete(served_keys):
+    async def scenario(net):
+        host, port = net.address
+        reader, writer = await asyncio.open_connection(host, port)
+        q = int(served_keys[33])
+        frame = encode_frame({"op": "lookup", "id": 5, "q": q})
+        for i in range(len(frame)):  # one byte per write
+            writer.write(frame[i:i + 1])
+            await writer.drain()
+        data = await asyncio.wait_for(reader.read(1 << 16), 10)
+        msgs = FrameDecoder().feed(data)
+        assert msgs == [{"id": 5, "ok": True, "r": 33}]
+        writer.close()
+
+    _run_against_server(served_keys, scenario)
+
+
+def test_half_frame_then_disconnect_leaves_server_healthy(served_keys):
+    from repro.net import Client
+
+    async def scenario(net):
+        host, port = net.address
+        _, w = await asyncio.open_connection(host, port)
+        w.write(encode_frame({"op": "ping", "id": 1})[:4])  # half a header
+        await w.drain()
+        w.close()  # vanish mid-frame
+        async with Client(host, port) as good:
+            assert await good.lookup(int(served_keys[100])) == 100
+
+    _run_against_server(served_keys, scenario)
+
+
+def test_non_dict_request_closes_connection(served_keys):
+    async def scenario(net):
+        host, port = net.address
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(encode_frame([1, 2, 3]))  # valid TLV, invalid request
+        await writer.drain()
+        msg = await _read_error_frame(reader)
+        assert "dict" in msg["message"]
+        assert await asyncio.wait_for(reader.read(1 << 16), 10) == b""
+        writer.close()
+
+    _run_against_server(served_keys, scenario)
