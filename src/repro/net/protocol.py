@@ -45,6 +45,7 @@ __all__ = [
     "VERSION",
     "HEADER_SIZE",
     "DEFAULT_MAX_FRAME",
+    "MAX_DEPTH",
     "ProtocolError",
     "pack",
     "unpack",
@@ -59,6 +60,11 @@ HEADER_SIZE = 7
 #: refuse frames above this (a garbage length prefix must not make the
 #: server try to buffer gigabytes for one connection)
 DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+#: refuse TLV nesting deeper than this: each level costs the peer only
+#: 5 bytes, so without a bound a sub-kilobyte frame of nested lists
+#: would blow the decoder's stack (RecursionError escapes the
+#: ProtocolError handling that closes bad connections cleanly)
+MAX_DEPTH = 100
 
 _T_NONE, _T_BOOL, _T_INT, _T_FLOAT = 0x00, 0x01, 0x02, 0x03
 _T_STR, _T_BYTES, _T_LIST, _T_DICT, _T_ARRAY = 0x04, 0x05, 0x06, 0x07, 0x08
@@ -126,8 +132,11 @@ def pack(value) -> bytes:
     return b"".join(out)
 
 
-def _unpack_one(buf: memoryview, offset: int):
+def _unpack_one(buf: memoryview, offset: int, depth: int = 0):
     """Decode the element at ``offset``; returns (value, next offset)."""
+    if depth > MAX_DEPTH:
+        raise ProtocolError(
+            f"TLV nesting deeper than {MAX_DEPTH} levels")
     if offset + 5 > len(buf):
         raise ProtocolError("truncated TLV element header")
     tag = buf[offset]
@@ -167,24 +176,24 @@ def _unpack_one(buf: memoryview, offset: int):
         items = []
         pos = start
         while pos < end:
-            item, pos = _unpack_one(buf[:end], pos)
+            item, pos = _unpack_one(buf[:end], pos, depth + 1)
             items.append(item)
         return items, end
     if tag == _T_DICT:
         mapping = {}
         pos = start
         while pos < end:
-            key, pos = _unpack_one(buf[:end], pos)
+            key, pos = _unpack_one(buf[:end], pos, depth + 1)
             if pos >= end:
                 raise ProtocolError("dict element with a dangling key")
-            value, pos = _unpack_one(buf[:end], pos)
+            value, pos = _unpack_one(buf[:end], pos, depth + 1)
             mapping[key] = value
         return mapping, end
     if tag == _T_ARRAY:
         pos = start
-        dtype_str, pos = _unpack_one(buf[:end], pos)
-        shape, pos = _unpack_one(buf[:end], pos)
-        raw, pos = _unpack_one(buf[:end], pos)
+        dtype_str, pos = _unpack_one(buf[:end], pos, depth + 1)
+        shape, pos = _unpack_one(buf[:end], pos, depth + 1)
+        raw, pos = _unpack_one(buf[:end], pos, depth + 1)
         if pos != end:
             raise ProtocolError("trailing bytes inside ndarray element")
         if not isinstance(dtype_str, str) or not isinstance(shape, list) \

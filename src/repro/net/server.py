@@ -32,10 +32,12 @@ connection; request-level errors fail only their own request.
 Scale-out: with ``workers=N`` a :class:`~repro.net.workers.WorkerPool`
 forks N read-worker processes over one shared-memory export of the
 engine (:mod:`repro.net.shm`); reads round-robin across live workers,
-writes stay in this process (the single writer) and fan out as events
-on each worker's control socket **before** the write is acknowledged,
-so a client that saw its write's ack reads its own write from any
-worker.  A dead worker's in-flight requests are rerouted to survivors
+writes stay in this process (the single writer) and are captured by a
+``WriteEvent`` listener **at the engine apply point** — so the replica
+event stream is in apply order even under concurrent connections —
+then flushed to each worker's control socket before the write is
+acknowledged, so a client that saw its write's ack reads its own write
+from any worker.  A dead worker's in-flight requests are rerouted to survivors
 (or answered inline); reads are idempotent, so a duplicate answer from
 the corpse is dropped by the client.
 
@@ -187,7 +189,14 @@ class NetServer:
 
     def _send(self, conn, writer, payload: dict) -> None:
         """Frame + write one response; maintains the per-conn counters."""
-        data = encode_frame(payload, self.max_frame)
+        try:
+            data = encode_frame(payload, self.max_frame)
+        except ProtocolError as exc:
+            # an answer too big for the frame limit (a huge range_keys
+            # scan) fails its own request — the error frame is tiny —
+            # instead of killing this connection's handler
+            payload = error_response(payload.get("id"), exc)
+            data = encode_frame(payload, self.max_frame)
         conn.responses += 1
         conn.bytes_out += len(data)
         if payload.get("ok") is False:
@@ -252,14 +261,22 @@ class NetServer:
             else:
                 shard = await self.server.delete(key)
         except Exception as exc:
+            if self.pool is not None:
+                # the engine may have applied the write before the
+                # error (e.g. a failed durability ack): keep replicas
+                # converging rather than parking the captured event
+                await self.pool.flush_events()
             self._send(conn, writer, error_response(rid, exc))
             return
         if self.pool is not None:
-            # fan out BEFORE acknowledging: once the client sees the
-            # ack, every worker's event queue already holds the write,
-            # and per-socket FIFO ordering applies it before any read
-            # this client dispatches afterwards (read-your-writes)
-            await self.pool.broadcast_event(msg["op"], key)
+            # flush BEFORE acknowledging: the pool's WriteEvent
+            # listener captured this write at the engine apply point
+            # (so concurrent handlers cannot reorder the replica
+            # stream), and once the client sees the ack every worker's
+            # control socket already carries the event — per-socket
+            # FIFO applies it before any read dispatched afterwards
+            # (read-your-writes)
+            await self.pool.flush_events()
         self._send(conn, writer, {"id": rid, "ok": True, "r": shard})
 
     # ------------------------------------------------------------------

@@ -4,9 +4,14 @@
 control socket pass by inheritance, no pickling of engine state), each
 of which attaches the :func:`~repro.net.shm.export_index` snapshot and
 serves read ops from its own :class:`~repro.engine.executor.BatchExecutor`.
-The parent process is the **single writer**: every applied mutation is
-broadcast as an event frame on each worker's control socket before the
-write is acknowledged to the client.
+The parent process is the **single writer**: a ``WriteEvent`` listener
+captures every applied mutation *at the engine apply point* (under the
+engine's lock chain, so capture order is apply order even when
+connection handlers interleave their awaits), and the queued events are
+flushed to each worker's control socket — in that order — before the
+write is acknowledged to the client.  Keys travel in wire-native form
+(`float` for float key dtypes, arbitrary-precision `int` otherwise), so
+replicas replay exactly what the engine applied.
 
 Control channel (one ``socket.socketpair()`` per worker, framed with the
 same codec as the public wire, limit ``2 * max_frame + slack`` because
@@ -23,9 +28,9 @@ worker → parent
 Correctness leans on two properties:
 
 * **Per-socket FIFO.**  A worker applies events and answers requests in
-  arrival order, so a read dispatched after a write's broadcast sees
-  that write (read-your-writes once the writer acks after
-  broadcasting).
+  arrival order; event frames are written to every control socket (in
+  apply order) before a write is acked, so a read dispatched after the
+  ack sees that write (read-your-writes).
 * **Reads are idempotent.**  When a worker dies (EOF on its socket),
   its in-flight requests are re-dispatched to a surviving worker — or
   answered inline by the parent when none survive — and any answer the
@@ -39,6 +44,7 @@ import asyncio
 import multiprocessing
 import signal
 import socket
+from collections import deque
 from dataclasses import dataclass, field
 
 from .protocol import DEFAULT_MAX_FRAME, FrameDecoder, ProtocolError, encode_frame
@@ -81,6 +87,11 @@ class WorkerPool:
         self._next_seq = 0
         self._next_barrier = 0
         self._rr = 0
+        #: replication events in engine apply order (filled by the
+        #: WriteEvent listener, drained by :meth:`flush_events`)
+        self._events: deque = deque()
+        self._event_lock: asyncio.Lock | None = None
+        self._listening = False
 
     @property
     def alive_count(self) -> int:
@@ -92,6 +103,12 @@ class WorkerPool:
     async def start(self) -> None:
         self.export = export_index(self.net.server.index)
         self._sem = asyncio.Semaphore(self.net.server.max_inflight)
+        self._event_lock = asyncio.Lock()
+        # registered right after the exclusive-lock snapshot, before the
+        # TCP listener binds: no protocol write can land in the gap, so
+        # the snapshot plus the captured event stream is exact
+        self.net.server.index.add_write_listener(self._on_engine_write)
+        self._listening = True
         for wid in range(self.n):
             await self._spawn(wid)
 
@@ -114,6 +131,10 @@ class WorkerPool:
         worker.task = asyncio.create_task(self._reader_loop(worker))
 
     async def close(self) -> None:
+        if self._listening:
+            self.net.server.index.remove_write_listener(self._on_engine_write)
+            self._listening = False
+        self._events.clear()
         stop = encode_frame({"op": "stop"}, self._ctrl_max)
         for w in self._workers:
             if w.stats.alive:
@@ -172,22 +193,55 @@ class WorkerPool:
             pass  # the reader loop notices the death and reroutes
         return True
 
-    async def broadcast_event(self, kind: str, key) -> None:
-        """Fan one applied write out to every live worker (pre-ack)."""
-        frame = encode_frame(
-            {"op": "event", "kind": kind, "key": int(key)}, self._ctrl_max)
-        for w in self._workers:
-            if not w.stats.alive:
-                continue
-            w.stats.events += 1
-            try:
-                w.writer.write(frame)
-                await w.writer.drain()
-            except (ConnectionError, OSError):
-                pass
+    def _on_engine_write(self, event) -> None:
+        """WriteEvent listener: capture replication at the apply point.
+
+        Runs synchronously under the engine's lock chain, so queue
+        order here *is* engine apply order — connection handlers that
+        interleave their awaits (durability, backpressure) in some
+        other order cannot reorder the replica stream.  Keys are
+        converted to wire-native form with the engine's key-dtype
+        semantics: ``float`` for float key dtypes, ``int`` otherwise
+        (never a silent ``int()`` truncation of a float key).
+        """
+        if event.kind not in ("insert", "delete"):
+            return  # refresh/retune leave the logical keys unchanged
+        if self.net.server.index.key_dtype.kind == "f":
+            key = float(event.key)
+        else:
+            key = int(event.key)
+        self._events.append((event.kind, key))
+
+    async def flush_events(self) -> None:
+        """Ship queued events to every live worker, in apply order.
+
+        Called by the writer before acking (read-your-writes) and by
+        :meth:`barrier`.  The asyncio lock makes each event's fan-out
+        atomic: concurrent flushers cannot interleave two events'
+        frames on one control socket, and a flusher that returns knows
+        every event queued before its call has been written — a
+        competitor that popped them finished sending before releasing
+        the lock.
+        """
+        async with self._event_lock:
+            while self._events:
+                kind, key = self._events.popleft()
+                frame = encode_frame(
+                    {"op": "event", "kind": kind, "key": key},
+                    self._ctrl_max)
+                for w in self._workers:
+                    if not w.stats.alive:
+                        continue
+                    w.stats.events += 1
+                    try:
+                        w.writer.write(frame)
+                        await w.writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
 
     async def barrier(self) -> None:
         """Resolve when every live worker has drained its event queue."""
+        await self.flush_events()
         bid = self._next_barrier
         self._next_barrier += 1
         loop = asyncio.get_running_loop()
@@ -221,8 +275,12 @@ class WorkerPool:
                     self._on_worker_msg(worker, msg)
         except asyncio.CancelledError:
             raise
-        except (ConnectionError, OSError, ProtocolError):
-            pass  # a corrupted control stream counts as a death
+        except Exception:
+            # a corrupted control stream — undecodable frames, or a
+            # control message the handler chokes on — counts as a
+            # death; anything narrower would leave the worker marked
+            # alive with its in-flight slots leaked forever
+            pass
         await self._on_worker_death(worker)
 
     def _on_worker_msg(self, worker: _Worker, msg: dict) -> None:
@@ -277,7 +335,7 @@ def _worker_main(manifest: dict, sock: socket.socket,
     """Blocking control-socket loop of one read worker."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # ^C belongs to the parent
     from ..engine.executor import BatchExecutor
-    from .ops import execute_read
+    from .ops import error_response, execute_read
     from .shm import attach_index
 
     index, shm = attach_index(manifest)
@@ -295,7 +353,16 @@ def _worker_main(manifest: dict, sock: socket.socket,
                 op = msg.get("op")
                 if op == "req":
                     response = execute_read(executor, msg["req"])
-                    raw = encode_frame(response, max_frame)
+                    try:
+                        raw = encode_frame(response, max_frame)
+                    except ProtocolError as exc:
+                        # an oversized answer (a huge range_keys scan)
+                        # must fail its own request, not kill the
+                        # worker — death would reroute the same request
+                        # and cascade through the whole pool
+                        raw = encode_frame(
+                            error_response(msg["req"].get("id"), exc),
+                            max_frame)
                     sock.sendall(encode_frame(
                         {"op": "res", "seq": msg["seq"],
                          "conn": msg["conn"], "raw": raw},

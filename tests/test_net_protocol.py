@@ -20,6 +20,7 @@ from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     HEADER_SIZE,
     MAGIC,
+    MAX_DEPTH,
     VERSION,
     FrameDecoder,
     ProtocolError,
@@ -225,6 +226,24 @@ def test_malformed_ndarray_rejected():
         FrameDecoder().feed(_frame(_el(0x08, inner)))
 
 
+def test_deep_nesting_rejected_not_recursion():
+    # 5 bytes per level: a couple of KB of nested list headers must
+    # answer ProtocolError (the clean error-frame-and-close path), not
+    # escape as a RecursionError the connection handler doesn't catch
+    payload = pack(1)
+    for _ in range(MAX_DEPTH + 200):
+        payload = _el(0x06, payload)
+    with pytest.raises(ProtocolError, match="nesting"):
+        FrameDecoder().feed(_frame(payload))
+
+
+def test_nesting_below_the_bound_still_round_trips():
+    value = 1
+    for _ in range(MAX_DEPTH // 2):
+        value = [value]
+    assert_same(value, unpack(pack(value)))
+
+
 def test_slowloris_buffers_without_emitting():
     # a byte-at-a-time peer gets nothing interpreted early, bounded
     # buffering, and the full answer once the frame completes
@@ -368,3 +387,28 @@ def test_non_dict_request_closes_connection(served_keys):
         writer.close()
 
     _run_against_server(served_keys, scenario)
+
+
+def test_oversized_answer_fails_request_not_connection(served_keys):
+    # a range_keys scan whose frame would exceed max_frame answers an
+    # error frame for that request; the connection keeps exact answers
+    import repro
+    from repro.net import Client
+
+    async def main():
+        index = repro.Index.build(served_keys, num_shards=2)
+        net = index.serve(addr=("127.0.0.1", 0), max_frame=2048)
+        await net.start()
+        try:
+            async with Client(*net.address, timeout=30) as client:
+                lo, hi = int(served_keys[0]), int(served_keys[-1]) + 1
+                with pytest.raises(ProtocolError, match="limit"):
+                    await client.range_keys(lo, hi)  # 4000 keys >> 2KB
+                assert await client.lookup(int(served_keys[42])) == 42
+                small = await client.range_keys(lo, int(served_keys[3]))
+                assert [int(k) for k in small] \
+                    == [int(k) for k in served_keys[:3]]
+        finally:
+            await net.close()
+
+    asyncio.run(main())
