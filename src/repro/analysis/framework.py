@@ -14,6 +14,8 @@ Rule code families (see ``docs/ARCHITECTURE.md`` for the contracts):
 - ``RPR2xx`` engine write-lock discipline
 - ``RPR3xx`` durability (fsync/rename) discipline
 - ``RPR4xx`` async safety in the serving layer
+- ``RPR6xx`` replication artifact-read discipline (checksum-verified
+  segment/manifest loaders only)
 """
 
 from __future__ import annotations
@@ -230,6 +232,7 @@ def all_rules() -> dict[str, Rule]:
         from . import rules_durability  # noqa: F401
         from . import rules_kernels  # noqa: F401
         from . import rules_lock  # noqa: F401
+        from . import rules_replica  # noqa: F401
         _LOADED = True
     return dict(_REGISTRY)
 

@@ -1,6 +1,7 @@
 """RPR4xx — async safety in the serving layer (``serve/``).
 
-The asyncio front end multiplexes every client over one event loop; a
+The asyncio front end (and the replication tier, ``replica/``)
+multiplexes every client over one event loop; a
 single blocking call in a coroutine stalls *all* in-flight requests for
 its duration (a 5 ms fsync is ~250 batch windows).  ``IndexServer``
 therefore pushes every blocking durability call through
@@ -61,7 +62,7 @@ class BlockingCallInAsync(Rule):
     name = "blocking-call-in-async"
     summary = ("blocking calls (time.sleep, os.fsync, lock acquire, sync "
                "file I/O) in async def stall every in-flight request")
-    scope_dirs = ("serve",)
+    scope_dirs = ("serve", "replica")
 
     def check(self, ctx: ModuleContext) -> list:
         findings = []

@@ -511,7 +511,8 @@ class Index:
     # serving
     # ------------------------------------------------------------------
     def serve(self, addr=None, *, net_workers: int = 0,
-              max_frame: int | None = None, **server_opts):
+              max_frame: int | None = None, replicate_addr=None,
+              **server_opts):
         """A configured serving front end (in-process or TCP).
 
         Without ``addr`` this returns the asyncio
@@ -537,6 +538,12 @@ class Index:
         A durable index hands its manager to the server automatically,
         so awaited writes are acknowledged writes and
         ``checkpoint_interval=`` schedules background checkpoints.
+
+        ``replicate_addr=(host, port)`` (durable indexes only) also
+        binds a :class:`~repro.replica.leader.ReplicationServer` so
+        read replicas can full-sync the published checkpoint and
+        stream the WAL tail (:func:`repro.replica.follow`); its bound
+        address is ``net.replication_address``.
         """
         from .serve.server import IndexServer
 
@@ -547,15 +554,22 @@ class Index:
         if addr is None:
             if net_workers:
                 raise ValueError("net_workers needs addr=(host, port)")
+            if replicate_addr is not None:
+                raise ValueError(
+                    "replicate_addr needs addr=(host, port) — replication "
+                    "runs alongside the TCP front end")
             return server
         from .net.protocol import DEFAULT_MAX_FRAME
         from .net.server import NetServer
 
         host, port = addr
+        if replicate_addr is not None:
+            rhost, rport = replicate_addr
+            replicate_addr = (rhost, int(rport))
         return NetServer(
             server, host, int(port), workers=net_workers,
             max_frame=DEFAULT_MAX_FRAME if max_frame is None else max_frame,
-            own_server=True,
+            own_server=True, replicate_addr=replicate_addr,
         )
 
     # ------------------------------------------------------------------

@@ -8,10 +8,16 @@ reproduction can be poked without writing Python:
   optionally ``--save`` it to disk or ``--durable-dir`` it into a
   WAL + checkpoint directory
 * ``inspect``      — reopen a saved index and report its configuration
+  (replica directories get a read-only replication report instead)
 * ``recover``      — crash-recover a durable directory (checkpoint +
   WAL replay) and report what came back
 * ``checkpoint``   — run one incremental checkpoint pass over a
-  durable directory and prune its WAL
+  durable directory and prune its WAL (``--keep-generations`` leaves
+  a resume window for briefly-disconnected replicas)
+* ``replicate``    — serve a durable directory to read replicas
+  (checkpoint shipping + WAL-tail streaming, see repro.replica)
+* ``follow``       — run a read replica of a ``replicate`` endpoint
+  into a local directory
 * ``table2``       — run Table 2 cells for chosen datasets/methods
 * ``fig``          — run one figure driver (2, 3, 6, 7, 9)
 * ``datasets``     — list datasets with their §2.4/§3.6 diagnostics
@@ -132,9 +138,53 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _inspect_replica(path) -> int:
+    """Read-only replication report for a ``follow`` directory.
+
+    Deliberately avoids ``Index.open`` — inspecting a replica must not
+    open a WAL writer or replay anything while (or after) a follower
+    owns the directory.
+    """
+    from pathlib import Path
+
+    from .engine.durability import MANIFEST_NAME, DurabilityManager
+    from .engine.wal import list_generations, read_wal
+    from .replica import read_replica_state
+
+    state = read_replica_state(path)
+    host, port = state.get("leader", ["?", 0])
+    print(f"replica of {host}:{port} at {path}")
+    for key in ("applied_lsn", "leader_lsn", "generation", "bytes_synced",
+                "bytes_streamed", "streamed_records", "full_syncs",
+                "resyncs", "subscriptions"):
+        print(f"  {key:>18}: {state.get(key)}")
+    lag = max(0, int(state.get("leader_lsn", 0))
+              - int(state.get("applied_lsn", 0)))
+    print(f"  {'lag_lsn':>18}: {lag} (as of the last state dump)")
+    root = Path(path)
+    if (root / MANIFEST_NAME).is_file():
+        manifest = DurabilityManager._read_manifest(root)
+        records, torn = read_wal(
+            root / "wal", min_generation=int(manifest["generation"]))
+        print(f"  {'manifest':>18}: generation "
+              f"{manifest['generation']}, "
+              f"{len(manifest['segments'])} segment(s)")
+        print(f"  {'local wal':>18}: {len(records)} record(s) in "
+              f"generation(s) {list_generations(root / 'wal')}"
+              f"{' (torn tail)' if torn else ''}")
+        print("promote with `python -m repro recover "
+              f"{path}` or repro.open()")
+    else:
+        print("  no local manifest — the next `follow` will full-sync")
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from .api import Index
+    from .replica import is_replica_dir
 
+    if is_replica_dir(args.path):
+        return _inspect_replica(args.path)
     t0 = time.perf_counter()
     index = Index.open(args.path)
     open_s = time.perf_counter() - t0
@@ -178,6 +228,8 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
               file=sys.stderr)
         index.close()
         return 1
+    if args.keep_generations:
+        index.durability.keep_generations = args.keep_generations
     t0 = time.perf_counter()
     manifest = index.checkpoint()
     dt = time.perf_counter() - t0
@@ -514,6 +566,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .api import Index
+
+    index = Index.open(args.path)
+    if index.durability is None:
+        print(f"{args.path} is a plain snapshot, not a durable directory",
+              file=sys.stderr)
+        index.close()
+        return 1
+    if args.keep_generations:
+        index.durability.keep_generations = args.keep_generations
+
+    async def run() -> int:
+        from .replica import ReplicationServer, follow
+
+        async with ReplicationServer(
+                index.durability, args.host, args.port) as server:
+            host, port = server.address
+            print(f"replicating {args.path} (n={len(index.engine):,}, "
+                  f"generation {index.durability.generation}) "
+                  f"on {host}:{port}", flush=True)
+            if args.probe:
+                import tempfile
+
+                with tempfile.TemporaryDirectory() as tmp:
+                    replica = await follow((host, port), tmp)
+                    await replica.wait_caught_up(timeout=60)
+                    print(f"probe: follower synced {len(replica):,} "
+                          f"key(s), lag {replica.lag().lsns} LSN(s)")
+                    await replica.close()
+                return 0
+            print("Ctrl-C to stop", flush=True)
+            await asyncio.Event().wait()  # pragma: no cover - interactive
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+    finally:
+        index.close()
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    import asyncio
+
+    async def run() -> int:
+        from .replica import follow
+
+        replica = await follow((args.host, args.port), args.dir,
+                               sync=args.durability)
+        print(f"following {args.host}:{args.port} into {args.dir} "
+              f"({len(replica):,} key(s) after boot, "
+              f"{replica.full_syncs} full sync(s), "
+              f"{replica.bytes_synced:,} byte(s) shipped)", flush=True)
+        try:
+            if args.probe:
+                head = await replica.wait_caught_up(timeout=60)
+                d = replica.describe()
+                print(f"probe: caught up to LSN {head} "
+                      f"(streamed {d['streamed_records']} record(s), "
+                      f"lag {d['lag_lsn']})")
+                return 0
+            print("Ctrl-C to stop", flush=True)
+            while True:  # pragma: no cover - interactive loop
+                await asyncio.sleep(5.0)
+                lag = replica.lag()
+                print(f"applied_lsn={replica.applied_lsn} "
+                      f"lag={lag.lsns} lsn / {lag.seconds:.1f}s",
+                      flush=True)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass  # pragma: no cover - interactive stop
+        finally:
+            await replica.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
 def _cmd_client_bench(args: argparse.Namespace) -> int:
     from .bench.serve_net import run_serve_net_bench
 
@@ -722,7 +858,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("path", help="directory written by `build "
                                 "--durable-dir`")
+    p.add_argument("--keep-generations", type=int, default=0,
+                   help="WAL generations to retain past the checkpoint "
+                        "(a resume window for disconnected replicas)")
     p.set_defaults(fn=_cmd_checkpoint)
+
+    p = sub.add_parser(
+        "replicate",
+        help="serve a durable directory to read replicas: checkpoint "
+             "shipping + WAL-tail streaming (see repro.replica)",
+    )
+    p.add_argument("path", help="durable directory to replicate "
+                                "(written by `build --durable-dir`)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="address to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=7422,
+                   help="TCP port to bind (0 picks an ephemeral port)")
+    p.add_argument("--keep-generations", type=int, default=1,
+                   help="WAL generations to retain past each checkpoint "
+                        "so followers can resume (default 1)")
+    p.add_argument("--probe", action="store_true",
+                   help="after binding, full-sync a throwaway follower "
+                        "against the endpoint and exit (smoke mode)")
+    p.set_defaults(fn=_cmd_replicate)
+
+    p = sub.add_parser(
+        "follow",
+        help="run a read replica of a `replicate` endpoint into a "
+             "local directory (full sync, then WAL-tail streaming)",
+    )
+    p.add_argument("host", help="leader replication host")
+    p.add_argument("port", type=int, help="leader replication port")
+    p.add_argument("dir", help="local replica directory (reused across "
+                               "runs for incremental catch-up)")
+    p.add_argument("--durability", default="async",
+                   choices=["always", "group", "async"],
+                   help="local WAL fsync policy (default async: replica "
+                        "durability comes from re-syncing)")
+    p.add_argument("--probe", action="store_true",
+                   help="catch up to the leader's head, report, and exit "
+                        "(smoke mode)")
+    p.set_defaults(fn=_cmd_follow)
 
     p = sub.add_parser("table2", help="run Table 2 cells")
     p.add_argument("--datasets", nargs="*", default=None,

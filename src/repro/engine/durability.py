@@ -59,6 +59,7 @@ import os
 import re
 import tempfile
 import threading
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -124,6 +125,102 @@ def _atomic_write_text(path: Path, text: str) -> None:
     _fsync_dir(path.parent)
 
 
+@dataclass
+class RecoveredState:
+    """Everything :func:`replay_directory` rebuilt from a durable dir.
+
+    ``index`` is ``None`` when the checkpoint was empty and no insert
+    survived in the WAL tail (the caller decides whether that is an
+    error — :meth:`DurabilityManager.recover` refuses it, a replication
+    follower falls back to a fresh sync).
+    """
+
+    manifest: dict
+    index: "ShardedIndex | None"
+    key_dtype: np.dtype
+    flushed_lsns: list[int]
+    max_lsn: int
+    replayed: int
+    skipped: int
+    torn: bool
+
+    @property
+    def generation(self) -> int:
+        """Generation of the manifest the state was rebuilt from."""
+        return int(self.manifest["generation"])
+
+
+def replay_directory(root: str | Path) -> RecoveredState:
+    """Rebuild the live engine state a durable directory describes.
+
+    The shared read side of crash recovery:
+    :meth:`DurabilityManager.recover` and the replication follower
+    (:mod:`repro.replica`) both boot through it.  Loads the published
+    manifest's segments (checksum-verified, no refitting) and replays
+    the WAL tail in LSN order through the ordinary write paths,
+    applying the per-shard flushed-LSN filter documented in the module
+    docstring.  Pure read: opens no WAL writer, attaches no listeners,
+    mutates nothing on disk.
+    """
+    root = Path(root)
+    manifest = DurabilityManager._read_manifest(root)
+    key_dtype = np.dtype(manifest["key_dtype"])
+
+    shards, flushed_lsns, lengths = [], [], []
+    for name in manifest["segments"]:
+        seg_manifest, shard = load_shard_segment(root / name)
+        shards.append(shard)
+        flushed_lsns.append(int(seg_manifest["flushed_lsn"]))
+        lengths.append(int(seg_manifest["length"]))
+
+    records, torn = read_wal(
+        root / "wal", min_generation=int(manifest["generation"])
+    )
+    index = DurabilityManager._build_engine(
+        manifest, shards, lengths, key_dtype
+    )
+    replayed = skipped = 0
+    for record in records:
+        if (
+            record.shard < len(flushed_lsns)
+            and record.lsn <= flushed_lsns[record.shard]
+        ):
+            continue  # effect already inside that shard's segment
+        if index is None:
+            if record.op != OP_INSERT:
+                skipped += 1  # a delete cannot land on emptiness
+                continue
+            index = DurabilityManager._seed_engine(
+                manifest, record.key, key_dtype
+            )
+            replayed += 1
+            continue
+        if record.op == OP_INSERT:
+            index.insert(record.key)
+            replayed += 1
+        elif record.op == OP_DELETE:
+            try:
+                index.delete(record.key)
+                replayed += 1
+            except KeyError:
+                # a torn, never-acknowledged tail can keep a delete
+                # whose matching insert was lost; acknowledged records
+                # can never hit this (their dependencies were fsynced
+                # by the same or an earlier commit)
+                skipped += 1
+        else:
+            raise DurabilityError(
+                f"unknown WAL opcode {record.op} at LSN {record.lsn}"
+            )
+
+    max_lsn = max([r.lsn for r in records] + flushed_lsns + [0])
+    return RecoveredState(
+        manifest=manifest, index=index, key_dtype=key_dtype,
+        flushed_lsns=flushed_lsns, max_lsn=max_lsn,
+        replayed=replayed, skipped=skipped, torn=torn,
+    )
+
+
 class DurabilityManager:
     """Owns one index's WAL, checkpoints and recovery lifecycle.
 
@@ -153,11 +250,19 @@ class DurabilityManager:
         manifest: dict | None = None,
         replayed: int = 0,
         skipped: int = 0,
+        keep_generations: int = 0,
     ) -> None:
+        if keep_generations < 0:
+            raise DurabilityError("keep_generations must be >= 0")
         self.index = index
         self.root = Path(root)
         self.wal = wal
         self.sync = sync
+        #: WAL generations retained *behind* the published one so a
+        #: briefly-disconnected replication follower can resume from its
+        #: flushed LSN instead of re-syncing the whole generation
+        #: (0 restores the prune-immediately behaviour)
+        self.keep_generations = int(keep_generations)
         #: generation of the last *published* manifest
         self.generation = generation
         #: the manifest currently on disk (None until first checkpoint)
@@ -171,6 +276,11 @@ class DurabilityManager:
         self._checkpoint_lock = threading.Lock()
         self._listening = False
         self._closed = False
+        #: replication taps: ``fn(lsn, op, shard, key)`` per WAL append
+        self._record_listeners: list = []
+        self._pin_lock = threading.Lock()
+        self._pins: dict[int, int] = {}
+        self._next_pin = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -184,6 +294,7 @@ class DurabilityManager:
         sync: str = "group",
         group_ops: int = 256,
         index_config: dict | None = None,
+        keep_generations: int = 0,
     ) -> "DurabilityManager":
         """Wrap a live engine in a fresh durable directory.
 
@@ -206,7 +317,7 @@ class DurabilityManager:
         )
         manager = cls(
             index, root, wal, generation=0, sync=sync,
-            index_config=index_config,
+            index_config=index_config, keep_generations=keep_generations,
         )
         manager._attach()
         try:
@@ -223,6 +334,7 @@ class DurabilityManager:
         *,
         sync: str | None = None,
         group_ops: int = 256,
+        keep_generations: int = 0,
     ) -> "DurabilityManager":
         """Reopen a durable directory: last good checkpoint + WAL replay.
 
@@ -235,77 +347,30 @@ class DurabilityManager:
         directories that are not (or no longer) recoverable.
         """
         root = Path(root)
-        manifest = cls._read_manifest(root)
+        state = replay_directory(root)
+        manifest = state.manifest
         if sync is None:
             sync = manifest.get("sync", "group")
-        key_dtype = np.dtype(manifest["key_dtype"])
-
-        shards, flushed_lsns, lengths = [], [], []
-        for name in manifest["segments"]:
-            seg_manifest, shard = load_shard_segment(root / name)
-            shards.append(shard)
-            flushed_lsns.append(int(seg_manifest["flushed_lsn"]))
-            lengths.append(int(seg_manifest["length"]))
-
-        records, torn = read_wal(
-            root / "wal", min_generation=int(manifest["generation"])
-        )
-        index = cls._build_engine(manifest, shards, lengths, key_dtype)
-        replayed = skipped = 0
-        for record in records:
-            if (
-                record.shard < len(flushed_lsns)
-                and record.lsn <= flushed_lsns[record.shard]
-            ):
-                continue  # effect already inside that shard's segment
-            if index is None:
-                if record.op != OP_INSERT:
-                    skipped += 1  # a delete cannot land on emptiness
-                    continue
-                index = cls._seed_engine(manifest, record.key, key_dtype)
-                replayed += 1
-                continue
-            if record.op == OP_INSERT:
-                index.insert(record.key)
-                replayed += 1
-            elif record.op == OP_DELETE:
-                try:
-                    index.delete(record.key)
-                    replayed += 1
-                except KeyError:
-                    # a torn, never-acknowledged tail can keep a delete
-                    # whose matching insert was lost; acknowledged
-                    # records can never hit this (their dependencies
-                    # were fsynced by the same or an earlier commit)
-                    skipped += 1
-            else:
-                raise DurabilityError(
-                    f"unknown WAL opcode {record.op} at LSN {record.lsn}"
-                )
-        if index is None:
+        if state.index is None:
             raise DurabilityError(
                 f"{root} recovered to an empty index (all keys deleted "
                 "and no inserts to replay) — nothing to reopen"
             )
-        index.source = "recovered"
+        state.index.source = "recovered"
 
-        max_lsn = max(
-            [r.lsn for r in records] + flushed_lsns + [0]
-        )
         wal_gens = list_generations(root / "wal")
-        next_generation = max(
-            wal_gens + [int(manifest["generation"])]
-        ) + 1
+        next_generation = max(wal_gens + [state.generation]) + 1
         wal = WalWriter(
-            root / "wal", key_dtype,
-            generation=next_generation, start_lsn=max_lsn + 1,
+            root / "wal", state.key_dtype,
+            generation=next_generation, start_lsn=state.max_lsn + 1,
             sync=sync, group_ops=group_ops,
         )
         manager = cls(
-            index, root, wal,
-            generation=int(manifest["generation"]), sync=sync,
+            state.index, root, wal,
+            generation=state.generation, sync=sync,
             index_config=manifest.get("index_config"), manifest=manifest,
-            replayed=replayed, skipped=skipped,
+            replayed=state.replayed, skipped=state.skipped,
+            keep_generations=keep_generations,
         )
         manager._attach()
         return manager
@@ -327,7 +392,26 @@ class DurabilityManager:
             op = OP_DELETE
         else:
             return  # refresh/retune never change the logical keys
-        self.wal.append(op, event.shard, event.key)
+        lsn = self.wal.append(op, event.shard, event.key)
+        for listener in list(self._record_listeners):
+            listener(lsn, op, event.shard, event.key)
+
+    def add_record_listener(self, fn) -> None:
+        """Register ``fn(lsn, op, shard, key)``, called for every WAL
+        append at the engine apply point (still under the shard's write
+        lock, right after :class:`WriteEvent` dispatch).  LSNs are
+        globally unique and gap-free; concurrent distinct-shard writers
+        may invoke listeners out of LSN order, so consumers that need
+        the total order reassemble by LSN (the replication streamer's
+        record buffer does exactly that)."""
+        self._record_listeners.append(fn)
+
+    def remove_record_listener(self, fn) -> None:
+        """Detach a listener added by :meth:`add_record_listener`."""
+        try:
+            self._record_listeners.remove(fn)
+        except ValueError:
+            pass
 
     def commit(self) -> int:
         """Group-commit: make every logged write durable; returns the LSN.
@@ -442,10 +526,43 @@ class DurabilityManager:
             finally:
                 if resume or not published:
                     index.resume_maintenance()
-            # the new manifest is live: everything older is garbage
-            self.wal.drop_generations_below(generation)
-            self._drop_stale_segments(generation)
+            # the new manifest is live: prune what no consumer can still
+            # need — the retention floor keeps `keep_generations` extra
+            # WAL generations for briefly-disconnected followers, and
+            # pinned generations (followers mid-sync) hold both their
+            # segments and their WAL tail on disk
+            with self._pin_lock:
+                pins = list(self._pins.values())
+            wal_floor = min([generation - self.keep_generations] + pins)
+            seg_floor = min([generation] + pins)
+            self.wal.drop_generations_below(max(wal_floor, 0))
+            self._drop_stale_segments(max(seg_floor, 0))
             return manifest
+
+    def pin_current(self) -> tuple[int, dict]:
+        """Pin the published generation against GC; ``(token, manifest)``.
+
+        While pinned, :meth:`checkpoint` keeps every segment and WAL
+        generation at or above the pinned one on disk, so a replication
+        follower can finish fetching that generation (and the WAL tail
+        past its flushed LSNs) while fresh checkpoints rotate by.
+        Release with :meth:`unpin` — the replication server unpins on
+        fetch completion and on follower disconnect.
+        """
+        with self._pin_lock:
+            if self.manifest is None:
+                raise DurabilityError(
+                    "no published manifest to pin (checkpoint first)"
+                )
+            token = self._next_pin
+            self._next_pin += 1
+            self._pins[token] = self.generation
+            return token, self.manifest
+
+    def unpin(self, token: int) -> None:
+        """Release a :meth:`pin_current` pin (idempotent)."""
+        with self._pin_lock:
+            self._pins.pop(token, None)
 
     def _drop_stale_segments(self, generation: int) -> None:
         seg_dir = self.root / "segments"
@@ -492,6 +609,7 @@ class DurabilityManager:
             "durable_lsn": self.durable_lsn,
             "replayed": self.replayed,
             "skipped": self.skipped,
+            "keep_generations": self.keep_generations,
         }
 
     # ------------------------------------------------------------------
@@ -587,5 +705,7 @@ __all__ = [
     "MANIFEST_NAME",
     "DurabilityError",
     "DurabilityManager",
+    "RecoveredState",
     "is_durable_dir",
+    "replay_directory",
 ]

@@ -78,9 +78,15 @@ class NetServer:
         workers: int = 0,
         max_frame: int = DEFAULT_MAX_FRAME,
         own_server: bool = False,
+        replicate_addr: tuple[str, int] | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if replicate_addr is not None and server.durability is None:
+            raise ValueError(
+                "replicate_addr needs a durable index: build it with "
+                "durable_dir=... (replication ships checkpoint "
+                "segments and streams the WAL)")
         self.server = server
         self.stats = server.stats
         self.host = host
@@ -88,6 +94,10 @@ class NetServer:
         self.num_workers = workers
         self.max_frame = max_frame
         self._own_server = own_server
+        self._replicate_addr = replicate_addr
+        #: the :class:`~repro.replica.leader.ReplicationServer`, once
+        #: started (``replicate_addr=...``); shares :attr:`stats`
+        self.replication = None
         self._asyncio_server: asyncio.base_events.Server | None = None
         self.pool = None
         #: conn id -> live StreamWriter (worker responses route through it)
@@ -105,6 +115,14 @@ class NetServer:
             self.pool = WorkerPool(self, self.num_workers,
                                    max_frame=self.max_frame)
             await self.pool.start()
+        if self._replicate_addr is not None:
+            from ..replica.leader import ReplicationServer
+
+            rhost, rport = self._replicate_addr
+            self.replication = ReplicationServer(
+                self.server.durability, rhost, rport,
+                stats=self.stats, max_frame=self.max_frame)
+            await self.replication.start()
         self._asyncio_server = await asyncio.start_server(
             self._on_connection, self.host, self.port)
         self.port = self._asyncio_server.sockets[0].getsockname()[1]
@@ -114,11 +132,19 @@ class NetServer:
     def address(self) -> tuple[str, int]:
         return self.host, self.port
 
+    @property
+    def replication_address(self) -> tuple[str, int] | None:
+        """Where followers subscribe (None unless replicating)."""
+        return None if self.replication is None else self.replication.address
+
     async def serve_forever(self) -> None:
         await self._asyncio_server.serve_forever()
 
     async def close(self) -> None:
         """Stop accepting, drop connections, stop workers (and the server)."""
+        if self.replication is not None:
+            await self.replication.close()
+            self.replication = None
         if self._asyncio_server is not None:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()

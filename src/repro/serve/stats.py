@@ -72,6 +72,42 @@ class WorkerStats:
 
 
 @dataclass
+class FollowerStats:
+    """Per-follower counters the replication server maintains.
+
+    One record per subscribed replica (kept after disconnect, like
+    :class:`ConnectionStats`).  ``ship_bytes`` counts full-sync segment
+    chunk payloads; ``stream_bytes`` counts live WAL-batch payloads —
+    the two counters the acceptance test uses to prove a reconnect
+    resumed incrementally instead of re-shipping the generation.
+    ``lag_lsn``/``lag_s`` are the follower's last self-reported
+    staleness (piggybacked on its acks).
+    """
+
+    peer: str = "?"
+    subscribed_from: int = 0
+    acked_lsn: int = 0
+    lag_lsn: int = 0
+    lag_s: float = 0.0
+    streamed_records: int = 0
+    stream_bytes: int = 0
+    ship_bytes: int = 0
+    resyncs: int = 0
+    connected: bool = True
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "peer": self.peer, "subscribed_from": self.subscribed_from,
+            "acked_lsn": self.acked_lsn, "lag_lsn": self.lag_lsn,
+            "lag_s": self.lag_s,
+            "streamed_records": self.streamed_records,
+            "stream_bytes": self.stream_bytes,
+            "ship_bytes": self.ship_bytes, "resyncs": self.resyncs,
+            "connected": self.connected,
+        }
+
+
+@dataclass
 class _NetStats:
     """Roll-up of the per-connection / per-worker maps."""
 
@@ -103,7 +139,10 @@ class ServerStats:
         #: per-connection / per-worker counter maps (network front end)
         self.connections: dict[int, ConnectionStats] = {}
         self.workers: dict[int, WorkerStats] = {}
+        #: per-follower counter map (replication tier)
+        self.followers: dict[int, FollowerStats] = {}
         self._next_conn_id = 0
+        self._next_follower_id = 0
 
     # ------------------------------------------------------------------
     # network front-end feeds
@@ -127,6 +166,20 @@ class ServerStats:
         rec = WorkerStats(pid=pid)
         self.workers[worker_id] = rec
         return rec
+
+    def open_follower(self, peer: str) -> tuple[int, FollowerStats]:
+        """Register a subscribed replica; returns (id, its counters)."""
+        fid = self._next_follower_id
+        self._next_follower_id += 1
+        rec = FollowerStats(peer=peer)
+        self.followers[fid] = rec
+        return fid, rec
+
+    def close_follower(self, fid: int) -> None:
+        """Mark a follower disconnected (its counters stay readable)."""
+        rec = self.followers.get(fid)
+        if rec is not None:
+            rec.connected = False
 
     # ------------------------------------------------------------------
     # hot-path feeds
@@ -228,6 +281,21 @@ class ServerStats:
             "live_workers": sum(
                 1 for w in self.workers.values() if w.alive),
             "rerouted": sum(w.rerouted for w in self.workers.values()),
+            "followers": len(self.followers),
+            "connected_followers": sum(
+                1 for f in self.followers.values() if f.connected),
+            "max_follower_lag_lsn": max(
+                (f.lag_lsn for f in self.followers.values()
+                 if f.connected), default=0),
+            "max_follower_lag_s": max(
+                (f.lag_s for f in self.followers.values()
+                 if f.connected), default=0.0),
+            "ship_bytes": sum(
+                f.ship_bytes for f in self.followers.values()),
+            "stream_bytes": sum(
+                f.stream_bytes for f in self.followers.values()),
+            "follower_resyncs": sum(
+                f.resyncs for f in self.followers.values()),
         }
 
     def net_snapshot(self) -> dict[str, object]:
@@ -237,6 +305,8 @@ class ServerStats:
                 cid: c.to_dict() for cid, c in self.connections.items()},
             "workers": {
                 wid: w.to_dict() for wid, w in self.workers.items()},
+            "followers": {
+                fid: f.to_dict() for fid, f in self.followers.items()},
         }
 
     def describe(self) -> str:  # pragma: no cover - formatting aid

@@ -1,0 +1,32 @@
+"""Lint fixture: RPR6xx-clean replication artifact reads.
+
+This file is never imported, only parsed.
+"""
+
+import json
+
+import numpy as np
+
+
+def _read_verified(path):
+    with np.load(path, allow_pickle=False) as archive:
+        manifest = json.loads(bytes(archive["manifest"]).decode())
+    return manifest
+
+
+def read_replica_state(path):
+    def _parse(text):
+        return json.loads(text)  # nested inside the sanctioned reader
+
+    with open(path) as fh:
+        return _parse(fh.read())
+
+
+class Follower:
+    @staticmethod
+    def _read_manifest(path):
+        with open(path) as fh:
+            return json.load(fh)
+
+    def boot(self, path):
+        return _read_verified(path)

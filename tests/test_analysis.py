@@ -56,6 +56,7 @@ VIOLATION_FIXTURES = [
     "engine/lock_violations.py",
     "engine/durability_violations.py",
     "serve/async_violations.py",
+    "replica/artifact_read_violations.py",
 ]
 CLEAN_FIXTURES = [
     "core/dtype_clean.py",
@@ -63,6 +64,7 @@ CLEAN_FIXTURES = [
     "engine/lock_clean.py",
     "engine/durability_clean.py",
     "serve/async_clean.py",
+    "replica/artifact_read_clean.py",
 ]
 
 
